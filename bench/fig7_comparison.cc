@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 7 — "Performance Comparison with Other Schemes": speedup over
+ * the no-NM baseline for Random, HMA, CAMEO, CAMEO+P, PoM and SILC-FM
+ * across all 14 Table III workloads, plus the geometric mean.
+ *
+ * Paper shape to check (Section V-B): SILC-FM wins overall (+36% over
+ * the best alternative); CAMEO is the strongest hardware baseline; HMA
+ * beats Random but reacts slowly (gems degrades); PoM pays 2KB
+ * migration bandwidth.
+ *
+ * Scale with SILC_CORES / SILC_INSTR / SILC_NM_MIB / SILC_FM_MIB.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/profiles.hh"
+
+using namespace silc;
+using namespace silc::sim;
+
+int
+main()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    ExperimentRunner runner(opts);
+
+    const std::vector<PolicyKind> kinds = {
+        PolicyKind::Random, PolicyKind::Hma,  PolicyKind::Cameo,
+        PolicyKind::CameoP, PolicyKind::Pom,  PolicyKind::SilcFm,
+    };
+
+    std::printf("=== Figure 7: speedup over no-NM baseline ===\n");
+    std::printf("(cores=%u, instr/core=%llu, NM=%lluMiB, FM=%lluMiB)\n\n",
+                opts.cores,
+                static_cast<unsigned long long>(
+                    opts.instructions_per_core),
+                static_cast<unsigned long long>(opts.nm_bytes >> 20),
+                static_cast<unsigned long long>(opts.fm_bytes >> 20));
+
+    std::vector<std::string> columns;
+    for (PolicyKind k : kinds)
+        columns.push_back(policyKindName(k));
+    printTableHeader("bench", columns);
+
+    std::vector<std::vector<double>> per_scheme(kinds.size());
+    for (const auto &workload : trace::profileNames()) {
+        std::vector<double> row;
+        for (size_t i = 0; i < kinds.size(); ++i) {
+            SimResult r = runner.run(workload, kinds[i]);
+            const double s = runner.speedup(r);
+            per_scheme[i].push_back(s);
+            row.push_back(s);
+        }
+        printTableRow(workload, row);
+        std::fflush(stdout);
+    }
+
+    printTableRule(columns.size());
+    std::vector<double> means;
+    for (const auto &col : per_scheme)
+        means.push_back(geomean(col));
+    printTableRow("geomean", means);
+
+    const double silc = means.back();
+    double best_other = 0.0;
+    std::string best_name;
+    for (size_t i = 0; i + 1 < means.size(); ++i) {
+        if (means[i] > best_other) {
+            best_other = means[i];
+            best_name = columns[i];
+        }
+    }
+    std::printf("\nSILC-FM vs best alternative (%s): %+.1f%% "
+                "(paper: +36%% over the state of the art)\n",
+                best_name.c_str(), 100.0 * (silc / best_other - 1.0));
+    return 0;
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for SILC-FM's hardware-modelled
+ * metadata structures: remap way lookup, victim selection, bit vector
+ * history table, way predictor, and the full demand-resolution path.
+ * These guard the simulator's own performance — the figure benches run
+ * hundreds of millions of these operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+#include "core/bitvector_table.hh"
+#include "core/predictor.hh"
+#include "core/set_metadata.hh"
+#include "core/silc_fm.hh"
+#include "dram/dram_system.hh"
+
+using namespace silc;
+using namespace silc::core;
+
+static void
+BM_FindWay(benchmark::State &state)
+{
+    NmMetadata meta(2048, static_cast<uint32_t>(state.range(0)));
+    Rng rng(1);
+    // Populate every way with a plausible remap.
+    for (uint64_t s = 0; s < meta.numSets(); ++s) {
+        for (uint32_t w = 0; w < meta.associativity(); ++w) {
+            meta.meta(meta.frameOf(s, w)).remap =
+                2048 + s + w * meta.numSets();
+        }
+    }
+    uint64_t set = 0;
+    for (auto _ : state) {
+        (void)_;
+        set = (set + 1) % meta.numSets();
+        benchmark::DoNotOptimize(
+            meta.findWay(set, 2048 + set + meta.numSets()));
+    }
+}
+BENCHMARK(BM_FindWay)->Arg(1)->Arg(4)->Arg(8);
+
+static void
+BM_VictimWay(benchmark::State &state)
+{
+    NmMetadata meta(2048, 4);
+    Rng rng(2);
+    for (uint64_t f = 0; f < meta.frames(); ++f) {
+        meta.meta(f).remap = 2048 + f;
+        meta.meta(f).locked = rng.chance(0.25);
+        meta.touch(f);
+    }
+    uint64_t set = 0;
+    for (auto _ : state) {
+        (void)_;
+        set = (set + 1) % meta.numSets();
+        benchmark::DoNotOptimize(meta.victimWay(set));
+    }
+}
+BENCHMARK(BM_VictimWay);
+
+static void
+BM_HistoryTable(benchmark::State &state)
+{
+    BitVectorTable table(uint64_t(1) << 20);
+    Rng rng(3);
+    SubblockVector bv;
+    bv.set(3);
+    bv.set(9);
+    for (auto _ : state) {
+        (void)_;
+        const Addr pc = 0x400 + rng.below(64) * 4;
+        const Addr addr = rng.below(1 << 20) * kSubblockSize;
+        table.save(pc, addr, bv);
+        benchmark::DoNotOptimize(table.lookup(pc, addr));
+    }
+}
+BENCHMARK(BM_HistoryTable);
+
+static void
+BM_WayPredictor(benchmark::State &state)
+{
+    WayPredictor pred(4096);
+    Rng rng(4);
+    for (auto _ : state) {
+        (void)_;
+        const Addr pc = 0x400 + rng.below(64) * 4;
+        const Addr addr = rng.below(1 << 22) * kSubblockSize;
+        pred.update(pc, addr, static_cast<uint8_t>(rng.below(4)),
+                    rng.chance(0.5));
+        benchmark::DoNotOptimize(pred.predict(pc, addr));
+    }
+}
+BENCHMARK(BM_WayPredictor);
+
+static void
+BM_SilcDemandAccess(benchmark::State &state)
+{
+    EventQueue events;
+    dram::DramSystem nm(dram::hbm2Params(), 4_MiB, events);
+    dram::DramSystem fm(dram::ddr3Params(), 16_MiB, events);
+    policy::PolicyEnv env{&nm, &fm, &events};
+    SilcFmParams params;
+    params.hot_threshold = 12;
+    SilcFmPolicy policy(env, params);
+    Rng rng(5);
+    Tick now = 0;
+    const uint64_t blocks = policy.flatSpaceBytes() / kSubblockSize;
+    ZipfSampler zipf(blocks, 0.8);
+    for (auto _ : state) {
+        (void)_;
+        const Addr a = zipf.sample(rng) * kSubblockSize;
+        policy.demandAccess(a, false, 0, 0x400, nullptr, now);
+        now += 4;
+        // Keep the DRAM queues bounded without timing the full drain.
+        if ((now & 0xFFF) == 0) {
+            state.PauseTiming();
+            for (Tick t = now; t < now + 200'000; ++t) {
+                nm.tick(t);
+                fm.tick(t);
+                events.runDue(t);
+                if (nm.idle() && fm.idle() && events.empty())
+                    break;
+            }
+            now += 200'000;
+            state.ResumeTiming();
+        }
+    }
+}
+BENCHMARK(BM_SilcDemandAccess);
+
+static void
+BM_DramDecode(benchmark::State &state)
+{
+    EventQueue events;
+    dram::DramSystem sys(dram::ddr3Params(), 64_MiB, events);
+    Rng rng(6);
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(
+            sys.decode(rng.below(64_MiB / 64) * 64));
+    }
+}
+BENCHMARK(BM_DramDecode);
+
+BENCHMARK_MAIN();

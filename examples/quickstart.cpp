@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Quickstart: build a system, run one workload under SILC-FM, and print
+ * the headline metrics.
+ *
+ *     ./example_quickstart [workload=mcf] [policy=silcfm] [cores=8] ...
+ *
+ * Any SystemConfig scale knob can be overridden with key=value pairs.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "common/config.hh"
+#include "trace/profiles.hh"
+
+using namespace silc;
+
+int
+main(int argc, char **argv)
+{
+    Config cli = Config::fromArgs(argc, argv);
+
+    sim::ExperimentOptions opts = sim::ExperimentOptions::fromEnv();
+    opts.cores = static_cast<uint32_t>(cli.getU64("cores", opts.cores));
+    opts.instructions_per_core =
+        cli.getU64("instructions", opts.instructions_per_core);
+    opts.nm_bytes = cli.getU64("nm", opts.nm_bytes);
+    opts.fm_bytes = cli.getU64("fm", opts.fm_bytes);
+    opts.seed = cli.getU64("seed", opts.seed);
+
+    const std::string workload = cli.getString("workload", "mcf");
+    const sim::PolicyKind kind =
+        sim::policyKindFromName(cli.getString("policy", "silcfm"));
+
+    std::printf("== SILC-FM quickstart ==\n");
+    std::printf("workload   : %s (%s MPKI class)\n", workload.c_str(),
+                trace::mpkiClassName(
+                    trace::findProfile(workload).mpki_class));
+    std::printf("policy     : %s\n", sim::policyKindName(kind));
+    std::printf("cores      : %u\n", opts.cores);
+    std::printf("NM / FM    : %llu MiB / %llu MiB\n",
+                static_cast<unsigned long long>(opts.nm_bytes >> 20),
+                static_cast<unsigned long long>(opts.fm_bytes >> 20));
+
+    sim::ExperimentRunner runner(opts);
+    const Tick baseline = runner.baselineTicks(workload);
+    sim::System system(sim::makeConfig(workload, kind, opts));
+    const sim::SimResult r = system.run();
+    const double speedup =
+        static_cast<double>(baseline) / static_cast<double>(r.ticks);
+
+    std::printf("\n-- results --\n");
+    std::printf("execution time : %llu ticks (%.3f ms at 3.2 GHz)\n",
+                static_cast<unsigned long long>(r.ticks),
+                r.seconds() * 1e3);
+    std::printf("speedup vs no-NM baseline : %.3f\n", speedup);
+    std::printf("IPC per core   : %.3f\n", r.ipc);
+    std::printf("LLC MPKI       : %.1f\n", r.mpki);
+    std::printf("access rate    : %.3f (fraction of LLC misses "
+                "serviced by NM)\n",
+                r.access_rate);
+    std::printf("avg miss lat   : %.0f ticks\n", r.avg_miss_latency);
+    std::printf("NM traffic     : %.1f MiB (%.1f MiB demand)\n",
+                r.nm_total_bytes / 1048576.0,
+                r.nm_demand_bytes / 1048576.0);
+    std::printf("FM traffic     : %.1f MiB (%.1f MiB demand)\n",
+                r.fm_total_bytes / 1048576.0,
+                r.fm_demand_bytes / 1048576.0);
+    std::printf("migration      : %.1f MiB\n",
+                r.migration_bytes / 1048576.0);
+    std::printf("energy         : %.2f mJ (EDP %.3e Js)\n",
+                r.energy_total_j * 1e3, r.edp);
+
+    if (cli.getBool("stats", false)) {
+        std::printf("\n-- component statistics --\n");
+        std::ostringstream os;
+        system.dumpStats(os);
+        std::fputs(os.str().c_str(), stdout);
+    }
+
+    const auto unused = cli.unusedKeys();
+    for (const auto &key : unused)
+        warn("unused option '%s'", key.c_str());
+    return 0;
+}

@@ -1,0 +1,186 @@
+#include "cache/cache.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace cache {
+
+void
+CacheParams::validate() const
+{
+    if (!isPowerOf2(line_bytes) || line_bytes == 0)
+        fatal("%s: line size must be a power of two", name.c_str());
+    if (associativity == 0)
+        fatal("%s: zero associativity", name.c_str());
+    if (size_bytes % (static_cast<uint64_t>(line_bytes) * associativity)
+        != 0) {
+        fatal("%s: size not divisible by way size", name.c_str());
+    }
+    if (!isPowerOf2(numSets()))
+        fatal("%s: number of sets must be a power of two", name.c_str());
+}
+
+Cache::Cache(CacheParams params)
+    : params_(std::move(params))
+{
+    params_.validate();
+    num_sets_ = params_.numSets();
+    line_shift_ = floorLog2(params_.line_bytes);
+    lines_.assign(num_sets_ * params_.associativity, Line{});
+}
+
+uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> line_shift_) & (num_sets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return addr >> line_shift_ >> floorLog2(num_sets_);
+}
+
+Addr
+Cache::lineAddr(Addr tag, uint64_t set) const
+{
+    return ((tag << floorLog2(num_sets_)) | set) << line_shift_;
+}
+
+Cache::Line *
+Cache::findLine(Addr tag, uint64_t set)
+{
+    Line *base = &lines_[set * params_.associativity];
+    for (uint32_t w = 0; w < params_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr tag, uint64_t set) const
+{
+    const Line *base = &lines_[set * params_.associativity];
+    for (uint32_t w = 0; w < params_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+Cache::Line &
+Cache::victimLine(uint64_t set)
+{
+    Line *base = &lines_[set * params_.associativity];
+    // Prefer an invalid way.
+    for (uint32_t w = 0; w < params_.associativity; ++w) {
+        if (!base[w].valid)
+            return base[w];
+    }
+    if (params_.replacement == Replacement::Random) {
+        // Deterministic round-robin pseudo-random victim.
+        rr_victim_ = (rr_victim_ + 1) % params_.associativity;
+        return base[rr_victim_];
+    }
+    Line *victim = base;
+    for (uint32_t w = 1; w < params_.associativity; ++w) {
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    return *victim;
+}
+
+AccessOutcome
+Cache::access(Addr addr, bool is_write)
+{
+    const uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    AccessOutcome out;
+
+    if (Line *line = findLine(tag, set)) {
+        ++hits_;
+        out.hit = true;
+        line->lru = ++lru_clock_;
+        if (is_write)
+            line->dirty = true;
+        return out;
+    }
+
+    ++misses_;
+    Line &victim = victimLine(set);
+    if (victim.valid) {
+        ++evictions_;
+        if (victim.dirty) {
+            ++writebacks_;
+            out.writeback = true;
+            out.writeback_addr = lineAddr(victim.tag, set);
+        }
+    }
+    victim.tag = tag;
+    victim.valid = true;
+    victim.dirty = is_write;
+    victim.lru = ++lru_clock_;
+    return out;
+}
+
+AccessOutcome
+Cache::fill(Addr addr, bool dirty)
+{
+    const uint64_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    AccessOutcome out;
+
+    if (Line *line = findLine(tag, set)) {
+        out.hit = true;
+        if (dirty)
+            line->dirty = true;
+        return out;
+    }
+
+    Line &victim = victimLine(set);
+    if (victim.valid) {
+        ++evictions_;
+        if (victim.dirty) {
+            ++writebacks_;
+            out.writeback = true;
+            out.writeback_addr = lineAddr(victim.tag, set);
+        }
+    }
+    victim.tag = tag;
+    victim.valid = true;
+    victim.dirty = dirty;
+    victim.lru = ++lru_clock_;
+    return out;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(tagOf(addr), setIndex(addr)) != nullptr;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(tagOf(addr), setIndex(addr))) {
+        const bool was_dirty = line->dirty;
+        line->valid = false;
+        line->dirty = false;
+        line->tag = kAddrInvalid;
+        return was_dirty;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    lines_.assign(num_sets_ * params_.associativity, Line{});
+    lru_clock_ = 0;
+    rr_victim_ = 0;
+    hits_ = misses_ = evictions_ = writebacks_ = 0;
+}
+
+} // namespace cache
+} // namespace silc

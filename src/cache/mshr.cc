@@ -1,0 +1,93 @@
+#include "cache/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace cache {
+
+MshrFile::MshrFile(uint32_t capacity, uint32_t per_core_capacity)
+    : capacity_(capacity), per_core_capacity_(per_core_capacity)
+{
+    silc_assert(capacity_ > 0);
+    silc_assert(per_core_capacity_ > 0);
+}
+
+MshrAllocation
+MshrFile::allocate(Addr block_addr, CoreId core, MissCallback cb)
+{
+    silc_assert(block_addr == subblockAddr(block_addr));
+
+    auto it = entries_.find(block_addr);
+    if (it != entries_.end()) {
+        it->second.waiters.push_back(std::move(cb));
+        ++coalesced_;
+        return MshrAllocation::Coalesced;
+    }
+
+    if (entries_.size() >= capacity_ ||
+        outstandingFor(core) >= per_core_capacity_) {
+        ++rejections_;
+        return MshrAllocation::NoCapacity;
+    }
+
+    Entry entry;
+    entry.owner = core;
+    entry.waiters.push_back(std::move(cb));
+    entries_.emplace(block_addr, std::move(entry));
+    ++per_core_[core];
+    return MshrAllocation::Primary;
+}
+
+void
+MshrFile::addWaiter(Addr block_addr, MissCallback cb)
+{
+    auto it = entries_.find(block_addr);
+    if (it == entries_.end())
+        panic("addWaiter on missing MSHR entry");
+    it->second.waiters.push_back(std::move(cb));
+}
+
+bool
+MshrFile::outstanding(Addr block_addr) const
+{
+    return entries_.count(block_addr) != 0;
+}
+
+size_t
+MshrFile::complete(Addr block_addr, Tick now)
+{
+    auto it = entries_.find(block_addr);
+    if (it == entries_.end())
+        panic("completing unknown MSHR entry");
+
+    // Move the entry out before firing waiters: a waiter may allocate a
+    // new miss for the same block.
+    Entry entry = std::move(it->second);
+    entries_.erase(it);
+    auto core_it = per_core_.find(entry.owner);
+    silc_assert(core_it != per_core_.end() && core_it->second > 0);
+    --core_it->second;
+
+    for (auto &waiter : entry.waiters)
+        waiter(now);
+    return entry.waiters.size();
+}
+
+uint32_t
+MshrFile::outstandingFor(CoreId core) const
+{
+    auto it = per_core_.find(core);
+    return it == per_core_.end() ? 0 : it->second;
+}
+
+void
+MshrFile::reset()
+{
+    entries_.clear();
+    per_core_.clear();
+    coalesced_ = 0;
+    rejections_ = 0;
+}
+
+} // namespace cache
+} // namespace silc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Miss Status Holding Registers: track outstanding LLC misses, coalesce
+ * requests to the same 64B block, and bound per-core memory-level
+ * parallelism (the paper's cores issue from a 128-entry ROB with a
+ * bounded number of outstanding misses).
+ */
+
+#ifndef SILC_CACHE_MSHR_HH
+#define SILC_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace silc {
+namespace cache {
+
+/** Callback fired when a miss completes. */
+using MissCallback = std::function<void(Tick)>;
+
+/** Result of attempting to allocate an MSHR. */
+enum class MshrAllocation
+{
+    NoCapacity,   ///< file full; requester must stall and retry
+    Primary,      ///< new entry; the miss must be sent to memory
+    Coalesced,    ///< merged into an existing outstanding miss
+};
+
+/**
+ * A file of MSHRs keyed by 64B block address.
+ *
+ * Each entry collects waiters; complete() fires them all.  Per-core
+ * outstanding-primary-miss counts are tracked so cores can be throttled
+ * individually while sharing one file at the LLC.
+ */
+class MshrFile
+{
+  public:
+    /**
+     * @param capacity            maximum distinct outstanding blocks
+     * @param per_core_capacity   maximum primary misses per core
+     */
+    MshrFile(uint32_t capacity, uint32_t per_core_capacity);
+
+    /**
+     * Try to allocate (or coalesce into) an entry for @p block_addr.
+     *
+     * @param block_addr 64B-aligned block address
+     * @param core       requesting core (per-core throttling)
+     * @param cb         fired when the block arrives
+     * @return allocation outcome; on NoCapacity @p cb is not retained
+     */
+    MshrAllocation allocate(Addr block_addr, CoreId core, MissCallback cb);
+
+    /**
+     * Register an extra waiter on an existing entry.
+     * @pre an entry for @p block_addr exists.
+     */
+    void addWaiter(Addr block_addr, MissCallback cb);
+
+    /** True when an entry for @p block_addr is outstanding. */
+    bool outstanding(Addr block_addr) const;
+
+    /**
+     * Complete the miss for @p block_addr at tick @p now, firing every
+     * waiter in registration order and freeing the entry.
+     *
+     * @return number of waiters notified.
+     */
+    size_t complete(Addr block_addr, Tick now);
+
+    /** Outstanding primary misses for @p core. */
+    uint32_t outstandingFor(CoreId core) const;
+
+    /** Distinct outstanding blocks. */
+    size_t size() const { return entries_.size(); }
+
+    uint64_t coalesced() const { return coalesced_; }
+    uint64_t rejections() const { return rejections_; }
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        CoreId owner = 0;
+        std::vector<MissCallback> waiters;
+    };
+
+    uint32_t capacity_;
+    uint32_t per_core_capacity_;
+    std::unordered_map<Addr, Entry> entries_;
+    std::unordered_map<CoreId, uint32_t> per_core_;
+    uint64_t coalesced_ = 0;
+    uint64_t rejections_ = 0;
+};
+
+} // namespace cache
+} // namespace silc
+
+#endif // SILC_CACHE_MSHR_HH

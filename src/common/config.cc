@@ -1,0 +1,143 @@
+#include "common/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace silc {
+
+uint64_t
+parseSize(const std::string &text)
+{
+    if (text.empty())
+        fatal("empty size literal");
+
+    std::string body = text;
+    uint64_t multiplier = 1;
+    char last = static_cast<char>(std::tolower(body.back()));
+    if (last == 'k' || last == 'm' || last == 'g') {
+        multiplier = last == 'k' ? (uint64_t(1) << 10)
+                   : last == 'm' ? (uint64_t(1) << 20)
+                                 : (uint64_t(1) << 30);
+        body.pop_back();
+        if (body.empty())
+            fatal("size literal '%s' has no digits", text.c_str());
+    }
+
+    char *end = nullptr;
+    int base = 10;
+    if (body.size() > 2 && body[0] == '0' &&
+        (body[1] == 'x' || body[1] == 'X')) {
+        base = 16;
+    }
+    const uint64_t value = std::strtoull(body.c_str(), &end, base);
+    if (end == nullptr || *end != '\0')
+        fatal("malformed integer literal '%s'", text.c_str());
+    return value * multiplier;
+}
+
+Config
+Config::fromArgs(int argc, const char *const *argv)
+{
+    std::vector<std::string> tokens;
+    for (int i = 1; i < argc; ++i)
+        tokens.emplace_back(argv[i]);
+    return fromTokens(tokens);
+}
+
+Config
+Config::fromTokens(const std::vector<std::string> &tokens)
+{
+    Config cfg;
+    for (const auto &tok : tokens) {
+        auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("expected key=value, got '%s'", tok.c_str());
+        cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    auto [it, inserted] = values_.insert_or_assign(key, value);
+    (void)it;
+    if (inserted)
+        order_.push_back(key);
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::optional<std::string>
+Config::getString(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    touched_[key] = true;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto v = getString(key);
+    return v ? *v : def;
+}
+
+uint64_t
+Config::getU64(const std::string &key, uint64_t def) const
+{
+    auto v = getString(key);
+    return v ? parseSize(*v) : def;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto v = getString(key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    double d = std::strtod(v->c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        fatal("malformed double '%s' for key '%s'", v->c_str(), key.c_str());
+    return d;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto v = getString(key);
+    if (!v)
+        return def;
+    std::string s = *v;
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (s == "1" || s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off")
+        return false;
+    fatal("malformed bool '%s' for key '%s'", v->c_str(), key.c_str());
+}
+
+std::vector<std::string>
+Config::unusedKeys() const
+{
+    std::vector<std::string> unused;
+    for (const auto &key : order_) {
+        auto it = touched_.find(key);
+        if (it == touched_.end() || !it->second)
+            unused.push_back(key);
+    }
+    return unused;
+}
+
+} // namespace silc

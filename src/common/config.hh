@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Generic key=value configuration store used by examples and benches to
+ * override simulation defaults from the command line or the environment.
+ *
+ * Structured per-module parameter structs (DramTimingParams, CacheParams,
+ * SilcFmParams, ...) live next to their modules; this store is the string
+ * front-end that populates them.
+ */
+
+#ifndef SILC_COMMON_CONFIG_HH
+#define SILC_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace silc {
+
+/** Ordered key=value option set with typed accessors. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /**
+     * Parse a list of "key=value" tokens (e.g. argv tail).  Tokens without
+     * '=' are rejected with fatal().
+     */
+    static Config fromArgs(int argc, const char *const *argv);
+
+    /** Parse from a vector of "key=value" strings. */
+    static Config fromTokens(const std::vector<std::string> &tokens);
+
+    /** Set (or overwrite) @p key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** True when @p key is present. */
+    bool has(const std::string &key) const;
+
+    /** Raw string value, if present. */
+    std::optional<std::string> getString(const std::string &key) const;
+
+    /** String with default. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+
+    /**
+     * Unsigned integer with default.  Accepts size suffixes k/m/g
+     * (binary, e.g. "16m" = 16 MiB) and 0x-prefixed hex.  Bad syntax is
+     * fatal().
+     */
+    uint64_t getU64(const std::string &key, uint64_t def) const;
+
+    /** Double with default. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Boolean with default; accepts 0/1/true/false/yes/no. */
+    bool getBool(const std::string &key, bool def) const;
+
+    /** All keys in insertion order. */
+    const std::vector<std::string> &keys() const { return order_; }
+
+    /**
+     * Keys that were set but never read — catches typos in experiment
+     * scripts.  Call after configuration is consumed.
+     */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> order_;
+    mutable std::map<std::string, bool> touched_;
+};
+
+/** Parse "16k"/"32m"/"2g"/hex/decimal into a byte (or plain) count. */
+uint64_t parseSize(const std::string &text);
+
+} // namespace silc
+
+#endif // SILC_COMMON_CONFIG_HH

@@ -1,0 +1,49 @@
+#include "common/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+
+void
+EventQueue::schedule(Tick when, EventCallback cb)
+{
+    if (when < last_run_tick_) {
+        panic("scheduling event in the past (when=%llu, now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(last_run_tick_));
+    }
+    heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+size_t
+EventQueue::runDue(Tick now)
+{
+    last_run_tick_ = now;
+    size_t count = 0;
+    while (!heap_.empty() && heap_.top().when <= now) {
+        // priority_queue::top() is const; move out via const_cast, which is
+        // safe because the entry is popped immediately afterwards.
+        Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        entry.cb(entry.when);
+        ++count;
+        ++executed_;
+    }
+    return count;
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return heap_.empty() ? kTickNever : heap_.top().when;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    last_run_tick_ = 0;
+}
+
+} // namespace silc

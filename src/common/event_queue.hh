@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A deterministic discrete-event queue driven in lockstep with the global
+ * cycle loop.
+ *
+ * Components schedule callbacks at absolute ticks; the simulator drains all
+ * events due at the current tick each cycle.  Ties are broken by insertion
+ * order so simulations are bit-exact across runs.
+ */
+
+#ifndef SILC_COMMON_EVENT_QUEUE_HH
+#define SILC_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace silc {
+
+/** Callback invoked when an event fires; receives the firing tick. */
+using EventCallback = std::function<void(Tick)>;
+
+/**
+ * Min-heap of timed callbacks with FIFO tie-breaking.
+ *
+ * The queue is intentionally simple: the simulator's hot paths (cores and
+ * memory controllers) tick explicitly in the main loop, so only
+ * transaction-completion style events land here.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @pre when must not be in the past relative to the last runDue() tick.
+     */
+    void schedule(Tick when, EventCallback cb);
+
+    /** Schedule @p cb to run @p delay ticks after @p now. */
+    void
+    scheduleIn(Tick now, Tick delay, EventCallback cb)
+    {
+        schedule(now + delay, std::move(cb));
+    }
+
+    /**
+     * Run every event due at or before @p now, in (tick, insertion) order.
+     * Events scheduled while draining for the same tick also run.
+     *
+     * @return number of events executed.
+     */
+    size_t runDue(Tick now);
+
+    /** Tick of the earliest pending event, or kTickNever when empty. */
+    Tick nextEventTick() const;
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return heap_.size(); }
+
+    /** Total number of events ever executed. */
+    uint64_t executed() const { return executed_; }
+
+    /** Drop all pending events (used between experiment runs). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;
+        EventCallback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    uint64_t next_seq_ = 0;
+    uint64_t executed_ = 0;
+    Tick last_run_tick_ = 0;
+};
+
+} // namespace silc
+
+#endif // SILC_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,104 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdarg>
+#include <vector>
+
+namespace silc {
+
+namespace {
+
+std::atomic<uint64_t> warn_counter{0};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic: return "panic";
+      case LogLevel::Fatal: return "fatal";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Inform: return "info";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+logFormatV(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data());
+}
+
+std::string
+logFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = logFormatV(fmt, args);
+    va_end(args);
+    return out;
+}
+
+void
+logEmit(LogLevel level, const std::string &msg)
+{
+    if (level == LogLevel::Warn)
+        warn_counter.fetch_add(1, std::memory_order_relaxed);
+    std::FILE *sink = (level == LogLevel::Inform) ? stdout : stderr;
+    std::fprintf(sink, "%s: %s\n", levelName(level), msg.c_str());
+}
+
+uint64_t
+warnCount()
+{
+    return warn_counter.load(std::memory_order_relaxed);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    logEmit(LogLevel::Panic, logFormatV(fmt, args));
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    logEmit(LogLevel::Fatal, logFormatV(fmt, args));
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    logEmit(LogLevel::Warn, logFormatV(fmt, args));
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    logEmit(LogLevel::Inform, logFormatV(fmt, args));
+    va_end(args);
+}
+
+} // namespace silc

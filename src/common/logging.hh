@@ -1,0 +1,62 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something is suspicious but simulation can continue.
+ * inform() - purely informational status output.
+ */
+
+#ifndef SILC_COMMON_LOGGING_HH
+#define SILC_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace silc {
+
+/** Severity classes understood by the log sink. */
+enum class LogLevel { Panic, Fatal, Warn, Inform };
+
+/**
+ * Formats a printf-style message and routes it to the log sink.
+ * Exposed mainly so tests can exercise formatting without dying.
+ */
+std::string logFormat(const char *fmt, ...);
+
+/** printf-style va_list variant of logFormat. */
+std::string logFormatV(const char *fmt, va_list args);
+
+/** Emit @p msg at @p level without terminating. */
+void logEmit(LogLevel level, const std::string &msg);
+
+/** Number of warnings emitted so far (useful in tests). */
+uint64_t warnCount();
+
+/** Internal invariant violated: print and abort(). */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** User/config error: print and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Suspicious but survivable condition. */
+void warn(const char *fmt, ...);
+
+/** Informational status message. */
+void inform(const char *fmt, ...);
+
+/** panic() with a standard message unless @p cond holds. */
+#define silc_assert(cond)                                                   \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::silc::panic("assertion '%s' failed at %s:%d", #cond,          \
+                          __FILE__, __LINE__);                              \
+        }                                                                   \
+    } while (0)
+
+} // namespace silc
+
+#endif // SILC_COMMON_LOGGING_HH

@@ -1,0 +1,40 @@
+#include "core/activity_monitor.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace core {
+
+AgingCounterOps::AgingCounterOps(uint32_t bits)
+{
+    if (bits == 0 || bits > 8)
+        fatal("aging counter width must be 1..8 bits");
+    max_ = static_cast<uint8_t>((1u << bits) - 1);
+}
+
+uint8_t
+AgingCounterOps::increment(uint8_t value) const
+{
+    return value >= max_ ? max_ : static_cast<uint8_t>(value + 1);
+}
+
+AgingSchedule::AgingSchedule(uint64_t interval)
+    : interval_(interval)
+{
+    if (interval_ == 0)
+        fatal("aging interval must be positive");
+}
+
+bool
+AgingSchedule::onAccess()
+{
+    ++accesses_;
+    if (accesses_ % interval_ == 0) {
+        ++sweeps_;
+        return true;
+    }
+    return false;
+}
+
+} // namespace core
+} // namespace silc

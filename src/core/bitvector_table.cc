@@ -1,0 +1,54 @@
+#include "core/bitvector_table.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace core {
+
+BitVectorTable::BitVectorTable(uint64_t entries)
+{
+    if (!isPowerOf2(entries))
+        fatal("bit vector table entries must be a power of two");
+    table_.assign(entries, 0);
+    mask_ = entries - 1;
+}
+
+uint64_t
+BitVectorTable::indexFor(Addr pc, Addr first_addr) const
+{
+    // XOR of PC and the first swapped-in subblock address, folded; both
+    // are known to correlate strongly with execution phase (Section
+    // III-A and its citations).
+    uint64_t x = (pc >> 2) ^ (first_addr >> kSubblockBits);
+    x ^= x >> 17;
+    return x & mask_;
+}
+
+void
+BitVectorTable::save(Addr pc, Addr first_addr, SubblockVector bv)
+{
+    if (bv.none())
+        return;   // an all-zero vector carries no reuse information
+    table_[indexFor(pc, first_addr)] = bv.raw();
+    ++saves_;
+}
+
+SubblockVector
+BitVectorTable::lookup(Addr pc, Addr first_addr) const
+{
+    ++lookups_;
+    const SubblockVector bv{table_[indexFor(pc, first_addr)]};
+    if (!bv.none())
+        ++hits_;
+    return bv;
+}
+
+void
+BitVectorTable::reset()
+{
+    std::fill(table_.begin(), table_.end(), 0);
+    saves_ = hits_ = lookups_ = 0;
+}
+
+} // namespace core
+} // namespace silc

@@ -1,0 +1,72 @@
+#include "core/set_metadata.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace core {
+
+NmMetadata::NmMetadata(uint64_t nm_frames, uint32_t associativity)
+    : assoc_(associativity)
+{
+    if (associativity == 0)
+        fatal("silcfm: associativity must be at least 1");
+    if (nm_frames == 0 || nm_frames % associativity != 0)
+        fatal("silcfm: NM frames (%llu) not divisible by associativity "
+              "(%u)",
+              static_cast<unsigned long long>(nm_frames), associativity);
+    frames_.resize(nm_frames);
+    num_sets_ = nm_frames / associativity;
+}
+
+int
+NmMetadata::findWay(uint64_t set, uint64_t fm_page) const
+{
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        const WayMeta &m = frames_[frameOf(set, w)];
+        if (m.remap == fm_page)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+int
+NmMetadata::victimWay(uint64_t set) const
+{
+    int best = -1;
+    uint64_t best_lru = ~uint64_t(0);
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        const WayMeta &m = frames_[frameOf(set, w)];
+        if (m.locked)
+            continue;
+        if (m.remap == kNoRemap)
+            return static_cast<int>(w);
+        if (m.lru < best_lru) {
+            best_lru = m.lru;
+            best = static_cast<int>(w);
+        }
+    }
+    return best;
+}
+
+uint64_t
+NmMetadata::lockedWays() const
+{
+    uint64_t n = 0;
+    for (const auto &m : frames_) {
+        if (m.locked)
+            ++n;
+    }
+    return n;
+}
+
+void
+NmMetadata::ageCounters()
+{
+    for (auto &m : frames_) {
+        m.nm_counter >>= 1;
+        m.fm_counter >>= 1;
+    }
+}
+
+} // namespace core
+} // namespace silc

@@ -1,0 +1,175 @@
+#include "dram/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace dram {
+
+const char *
+trafficClassName(TrafficClass c)
+{
+    switch (c) {
+      case TrafficClass::Demand: return "demand";
+      case TrafficClass::Migration: return "migration";
+      case TrafficClass::Metadata: return "metadata";
+      case TrafficClass::Writeback: return "writeback";
+    }
+    return "?";
+}
+
+ChannelController::ChannelController(const DramTimingParams &params,
+                                     EventQueue &events)
+    : params_(params), events_(events)
+{
+    banks_.resize(params_.banks_per_rank * params_.ranks_per_channel);
+    next_refresh_ = params_.t_refi != 0
+        ? params_.toTicks(params_.t_refi)
+        : kTickNever;
+}
+
+void
+ChannelController::enqueue(DecodedRequest req, Tick now)
+{
+    req.enqueued = now;
+    if (req.req.is_write) {
+        write_q_.push_back(std::move(req));
+    } else if (req.req.traffic == TrafficClass::Demand ||
+               req.req.traffic == TrafficClass::Metadata) {
+        read_q_.push_back(std::move(req));
+    } else {
+        bg_read_q_.push_back(std::move(req));
+    }
+}
+
+void
+ChannelController::tick(Tick now)
+{
+    // Refresh all banks when the interval elapses.
+    if (now >= next_refresh_) {
+        for (auto &bank : banks_)
+            bank.refresh(now, params_);
+        ++refreshes_;
+        next_refresh_ += params_.toTicks(params_.t_refi);
+    }
+
+    // Read-priority write drain: writes normally use idle slots (no
+    // ready read); a forced drain engages only when the write queue is
+    // nearly full and releases after a short burst, so demand/metadata
+    // reads never stall behind long write trains.
+    const size_t high = params_.queue_depth -
+        std::max<size_t>(1, params_.queue_depth / 8);
+    if (write_q_.size() >= high)
+        draining_writes_ = true;
+    else if (write_q_.size() + 8 <= high)
+        draining_writes_ = false;
+
+    tryIssue(now);
+}
+
+bool
+ChannelController::tryIssue(Tick now)
+{
+    // Priority: forced write drain > critical reads > background reads
+    // > opportunistic writes.  The first non-empty class owns the slot;
+    // if none of its requests is bank-ready the cycle idles rather than
+    // letting lower-priority traffic occupy the bus ahead of it.
+    std::deque<DecodedRequest> *q = nullptr;
+    if (draining_writes_ && !write_q_.empty())
+        q = &write_q_;
+    else if (!read_q_.empty())
+        q = &read_q_;
+    else if (!write_q_.empty())
+        q = &write_q_;
+    else if (!bg_read_q_.empty())
+        q = &bg_read_q_;
+    if (q == nullptr)
+        return false;
+
+    int pick = selectFrFcfs(*q, now);
+    if (pick < 0)
+        return false;
+    DecodedRequest dec = std::move((*q)[static_cast<size_t>(pick)]);
+    q->erase(q->begin() + pick);
+    issue(dec, now);
+    return true;
+}
+
+int
+ChannelController::selectFrFcfs(const std::deque<DecodedRequest> &q,
+                                Tick now) const
+{
+    // Plain FR-FCFS within one queue: first ready row hit, else the
+    // oldest ready request.  Priority across traffic classes is handled
+    // by the queue split in tryIssue().
+    const size_t window = std::min<size_t>(q.size(), params_.queue_depth);
+    int oldest_ready = -1;
+    for (size_t i = 0; i < window; ++i) {
+        const DecodedRequest &dec = q[i];
+        const Bank &bank = banks_[dec.bank];
+        if (bank.readyAt() > now)
+            continue;
+        if (bank.openRow() == dec.row)
+            return static_cast<int>(i);
+        if (oldest_ready < 0)
+            oldest_ready = static_cast<int>(i);
+    }
+    return oldest_ready;
+}
+
+void
+ChannelController::issue(DecodedRequest &dec, Tick now)
+{
+    Bank &bank = banks_[dec.bank];
+    const Tick burst = params_.toTicks(
+        params_.burstMemCycles(dec.req.bytes));
+    BankService svc = bank.serve(dec.row, now, burst, bus_free_, params_);
+
+    bus_free_ = svc.data_done;
+    bus_busy_ticks_ += svc.data_done - svc.data_start;
+
+    if (svc.row_hit)
+        ++row_hits_;
+    else
+        ++row_misses_;
+    if (svc.activated)
+        ++activations_;
+
+    if (dec.req.is_write) {
+        ++writes_served_;
+    } else {
+        ++reads_served_;
+        read_delay_sum_ +=
+            static_cast<double>(svc.data_start - dec.enqueued);
+    }
+
+    if (dec.req.on_complete) {
+        events_.schedule(svc.data_done,
+                         [cb = std::move(dec.req.on_complete)](Tick t) {
+                             cb(t);
+                         });
+    }
+}
+
+void
+ChannelController::reset()
+{
+    for (auto &bank : banks_)
+        bank.reset();
+    read_q_.clear();
+    bg_read_q_.clear();
+    write_q_.clear();
+    bus_free_ = 0;
+    bus_busy_ticks_ = 0;
+    draining_writes_ = false;
+    next_refresh_ = params_.t_refi != 0
+        ? params_.toTicks(params_.t_refi)
+        : kTickNever;
+    row_hits_ = row_misses_ = activations_ = refreshes_ = 0;
+    read_delay_sum_ = 0.0;
+    reads_served_ = writes_served_ = 0;
+}
+
+} // namespace dram
+} // namespace silc

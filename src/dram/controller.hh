@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Per-channel memory controller: read/write queues with a drain-mode write
+ * policy and FR-FCFS scheduling over a bounded window, issuing at most one
+ * composite access per memory cycle.
+ */
+
+#ifndef SILC_DRAM_CONTROLLER_HH
+#define SILC_DRAM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "dram/bank.hh"
+#include "dram/request.hh"
+#include "dram/timing.hh"
+
+namespace silc {
+namespace dram {
+
+/** A request decoded onto a channel's geometry. */
+struct DecodedRequest
+{
+    DramRequest req;
+    uint32_t bank = 0;     ///< flat bank index (rank folded in)
+    int64_t row = 0;
+    Tick enqueued = 0;
+};
+
+/**
+ * One DRAM channel: banks, data bus, queues, scheduler.
+ *
+ * Ticked by the owning DramSystem once per memory cycle.  Reads take
+ * priority over writes except in drain mode (write queue above its high
+ * watermark) or when no reads are pending.
+ */
+class ChannelController
+{
+  public:
+    ChannelController(const DramTimingParams &params, EventQueue &events);
+
+    /** Accept a decoded request (queues are elastic; see DESIGN.md). */
+    void enqueue(DecodedRequest req, Tick now);
+
+    /** Advance by one memory cycle ending at CPU tick @p now. */
+    void tick(Tick now);
+
+    /** Pending reads + writes. */
+    size_t queuedRequests() const
+    {
+        return read_q_.size() + bg_read_q_.size() + write_q_.size();
+    }
+
+    size_t readQueueDepth() const
+    {
+        return read_q_.size() + bg_read_q_.size();
+    }
+    size_t writeQueueDepth() const { return write_q_.size(); }
+
+    /** Ticks the data bus has been busy (utilization numerator). */
+    Tick busBusyTicks() const { return bus_busy_ticks_; }
+
+    uint64_t rowHits() const { return row_hits_; }
+    uint64_t rowMisses() const { return row_misses_; }
+    uint64_t activations() const { return activations_; }
+    uint64_t refreshes() const { return refreshes_; }
+
+    /** Sum and count of read queueing delays (enqueue to data start). */
+    double readQueueDelaySum() const { return read_delay_sum_; }
+    uint64_t readsServed() const { return reads_served_; }
+    uint64_t writesServed() const { return writes_served_; }
+
+    /** Forget all queued work and bank state. */
+    void reset();
+
+  private:
+    /** Pick and issue at most one request; true if one was issued. */
+    bool tryIssue(Tick now);
+
+    /** FR-FCFS selection from @p q within the scheduling window. */
+    int selectFrFcfs(const std::deque<DecodedRequest> &q, Tick now) const;
+
+    void issue(DecodedRequest &dec, Tick now);
+
+    const DramTimingParams &params_;
+    EventQueue &events_;
+
+    std::vector<Bank> banks_;
+    /** Critical-path reads: demand and metadata. */
+    std::deque<DecodedRequest> read_q_;
+    /** Background reads: migration and writeback-related. */
+    std::deque<DecodedRequest> bg_read_q_;
+    std::deque<DecodedRequest> write_q_;
+
+    Tick bus_free_ = 0;
+    Tick bus_busy_ticks_ = 0;
+    bool draining_writes_ = false;
+    Tick next_refresh_ = 0;
+
+    uint64_t row_hits_ = 0;
+    uint64_t row_misses_ = 0;
+    uint64_t activations_ = 0;
+    uint64_t refreshes_ = 0;
+    double read_delay_sum_ = 0.0;
+    uint64_t reads_served_ = 0;
+    uint64_t writes_served_ = 0;
+};
+
+} // namespace dram
+} // namespace silc
+
+#endif // SILC_DRAM_CONTROLLER_HH

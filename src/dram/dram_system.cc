@@ -1,0 +1,201 @@
+#include "dram/dram_system.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace dram {
+
+DramSystem::DramSystem(DramTimingParams params, uint64_t capacity,
+                       EventQueue &events)
+    : params_(std::move(params)), capacity_(capacity), events_(events)
+{
+    params_.validate();
+    if (capacity_ == 0 || capacity_ % kLargeBlockSize != 0)
+        fatal("%s: capacity must be a positive multiple of the large "
+              "block size", params_.name.c_str());
+    channels_.reserve(params_.channels);
+    for (uint32_t c = 0; c < params_.channels; ++c)
+        channels_.push_back(
+            std::make_unique<ChannelController>(params_, events_));
+}
+
+AddressDecode
+DramSystem::decode(Addr addr) const
+{
+    AddressDecode d;
+    uint64_t block = addr >> kSubblockBits;
+    d.channel = static_cast<uint32_t>(block % params_.channels);
+    block /= params_.channels;
+
+    const uint64_t cols = params_.row_buffer_bytes / kSubblockSize;
+    d.column = static_cast<uint32_t>(block % cols);
+    block /= cols;
+
+    const uint64_t banks =
+        params_.banks_per_rank * params_.ranks_per_channel;
+    d.bank = static_cast<uint32_t>(block % banks);
+    block /= banks;
+
+    d.row = static_cast<int64_t>(block);
+    return d;
+}
+
+void
+DramSystem::issue(DramRequest req, Tick now)
+{
+    if (req.addr >= capacity_)
+        panic("%s: address %llu out of range (capacity %llu)",
+              params_.name.c_str(),
+              static_cast<unsigned long long>(req.addr),
+              static_cast<unsigned long long>(capacity_));
+
+    AddressDecode d = decode(req.addr);
+    if (req.force_channel >= 0) {
+        if (static_cast<uint32_t>(req.force_channel) >= params_.channels)
+            panic("%s: forced channel %d out of range",
+                  params_.name.c_str(), req.force_channel);
+        d.channel = static_cast<uint32_t>(req.force_channel);
+    }
+
+    const auto cls = static_cast<size_t>(req.traffic);
+    if (req.is_write)
+        traffic_.write[cls] += req.bytes;
+    else
+        traffic_.read[cls] += req.bytes;
+    ++issued_requests_;
+
+    DecodedRequest dec;
+    dec.bank = d.bank;
+    dec.row = d.row;
+    dec.req = std::move(req);
+    channels_[d.channel]->enqueue(std::move(dec), now);
+}
+
+void
+DramSystem::tick(Tick now)
+{
+    if (now % params_.cpu_cycles_per_mem_cycle != 0)
+        return;
+    for (auto &ch : channels_)
+        ch->tick(now);
+}
+
+bool
+DramSystem::idle() const
+{
+    for (const auto &ch : channels_) {
+        if (ch->queuedRequests() != 0)
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+DramSystem::rowHits() const
+{
+    uint64_t s = 0;
+    for (const auto &ch : channels_)
+        s += ch->rowHits();
+    return s;
+}
+
+uint64_t
+DramSystem::rowMisses() const
+{
+    uint64_t s = 0;
+    for (const auto &ch : channels_)
+        s += ch->rowMisses();
+    return s;
+}
+
+uint64_t
+DramSystem::activations() const
+{
+    uint64_t s = 0;
+    for (const auto &ch : channels_)
+        s += ch->activations();
+    return s;
+}
+
+uint64_t
+DramSystem::readsServed() const
+{
+    uint64_t s = 0;
+    for (const auto &ch : channels_)
+        s += ch->readsServed();
+    return s;
+}
+
+uint64_t
+DramSystem::writesServed() const
+{
+    uint64_t s = 0;
+    for (const auto &ch : channels_)
+        s += ch->writesServed();
+    return s;
+}
+
+double
+DramSystem::avgReadQueueDelay() const
+{
+    double sum = 0.0;
+    uint64_t n = 0;
+    for (const auto &ch : channels_) {
+        sum += ch->readQueueDelaySum();
+        n += ch->readsServed();
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double
+DramSystem::busUtilization(Tick elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    Tick busy = 0;
+    for (const auto &ch : channels_)
+        busy += ch->busBusyTicks();
+    return static_cast<double>(busy) /
+        (static_cast<double>(elapsed) * params_.channels);
+}
+
+double
+DramSystem::energyJoules(Tick elapsed, double cpu_freq_hz) const
+{
+    const double seconds = static_cast<double>(elapsed) / cpu_freq_hz;
+    const double bg_j = params_.energy.background_mw_per_channel * 1e-3 *
+        static_cast<double>(params_.channels) * seconds;
+    return dynamicEnergyJoules() + bg_j;
+}
+
+double
+DramSystem::dynamicEnergyJoules() const
+{
+    EnergyMeter m;
+    // The meter is counter-based; replay aggregates rather than events.
+    m.recordActivations(activations());
+    m.recordTransfer(traffic_.totalRead(), false);
+    m.recordTransfer(traffic_.totalWrite(), true);
+    return m.dynamicJoules(params_);
+}
+
+size_t
+DramSystem::queuedRequests() const
+{
+    size_t s = 0;
+    for (const auto &ch : channels_)
+        s += ch->queuedRequests();
+    return s;
+}
+
+void
+DramSystem::reset()
+{
+    for (auto &ch : channels_)
+        ch->reset();
+    traffic_ = TrafficBytes{};
+    issued_requests_ = 0;
+}
+
+} // namespace dram
+} // namespace silc

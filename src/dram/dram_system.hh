@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A complete DRAM device: address decode across channels/ranks/banks/rows,
+ * per-channel controllers, and traffic/energy accounting.  The simulator
+ * instantiates two of these — NM (HBM2) and FM (DDR3) — and the
+ * flat-memory policies issue DramRequests into them.
+ */
+
+#ifndef SILC_DRAM_DRAM_SYSTEM_HH
+#define SILC_DRAM_DRAM_SYSTEM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+#include "dram/controller.hh"
+#include "dram/energy.hh"
+#include "dram/request.hh"
+#include "dram/timing.hh"
+
+namespace silc {
+namespace dram {
+
+/** Where a device-local address lands in the DRAM geometry. */
+struct AddressDecode
+{
+    uint32_t channel = 0;
+    uint32_t bank = 0;     ///< flat bank index within the channel
+    int64_t row = 0;
+    uint32_t column = 0;   ///< 64B column within the row
+};
+
+/** Aggregate byte counters indexed by TrafficClass. */
+struct TrafficBytes
+{
+    std::array<uint64_t, 4> read{};
+    std::array<uint64_t, 4> write{};
+
+    uint64_t
+    totalRead() const
+    {
+        uint64_t s = 0;
+        for (auto v : read)
+            s += v;
+        return s;
+    }
+
+    uint64_t
+    totalWrite() const
+    {
+        uint64_t s = 0;
+        for (auto v : write)
+            s += v;
+        return s;
+    }
+
+    uint64_t total() const { return totalRead() + totalWrite(); }
+};
+
+/** One DRAM device (NM or FM). */
+class DramSystem
+{
+  public:
+    /**
+     * @param params   device timing/geometry
+     * @param capacity device capacity in bytes (requests must be in range)
+     * @param events   shared event queue for completion callbacks
+     */
+    DramSystem(DramTimingParams params, uint64_t capacity,
+               EventQueue &events);
+
+    /**
+     * Map a device-local address onto the geometry.  Consecutive 64B
+     * subblocks interleave across channels; columns, banks, ranks and
+     * rows follow (open-page friendly for 2KB block trains).
+     */
+    AddressDecode decode(Addr addr) const;
+
+    /** Issue a request at tick @p now. */
+    void issue(DramRequest req, Tick now);
+
+    /** Advance to CPU tick @p now (internally clock-divided). */
+    void tick(Tick now);
+
+    /** True when all channel queues are empty. */
+    bool idle() const;
+
+    const DramTimingParams &params() const { return params_; }
+    uint64_t capacity() const { return capacity_; }
+    const std::string &name() const { return params_.name; }
+
+    /** Byte counters per traffic class. */
+    const TrafficBytes &traffic() const { return traffic_; }
+
+    /** Demand-only bytes (the paper's Figure 8 numerator). */
+    uint64_t
+    demandBytes() const
+    {
+        const auto d = static_cast<size_t>(TrafficClass::Demand);
+        return traffic_.read[d] + traffic_.write[d];
+    }
+
+    uint64_t rowHits() const;
+    uint64_t rowMisses() const;
+    uint64_t activations() const;
+    uint64_t readsServed() const;
+    uint64_t writesServed() const;
+
+    /** Mean read queueing delay in CPU ticks. */
+    double avgReadQueueDelay() const;
+
+    /** Fraction of tick-time the data buses were transferring. */
+    double busUtilization(Tick elapsed) const;
+
+    /** Total energy (dynamic + background) in joules. */
+    double energyJoules(Tick elapsed, double cpu_freq_hz) const;
+
+    /** Dynamic-only energy in joules. */
+    double dynamicEnergyJoules() const;
+
+    /** Queue depth across channels (diagnostics / backpressure hints). */
+    size_t queuedRequests() const;
+
+    /** Clear all queues, bank state and statistics. */
+    void reset();
+
+  private:
+    DramTimingParams params_;
+    uint64_t capacity_;
+    EventQueue &events_;
+    std::vector<std::unique_ptr<ChannelController>> channels_;
+    TrafficBytes traffic_;
+    uint64_t issued_requests_ = 0;
+};
+
+} // namespace dram
+} // namespace silc
+
+#endif // SILC_DRAM_DRAM_SYSTEM_HH

@@ -1,0 +1,93 @@
+#include "dram/timing.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace dram {
+
+double
+DramTimingParams::peakBytesPerTick() const
+{
+    // Two beats per memory cycle (DDR), bus_width_bits/8 bytes per beat,
+    // divided across cpu_cycles_per_mem_cycle CPU ticks, times channels.
+    const double bytes_per_mem_cycle = 2.0 * (bus_width_bits / 8.0);
+    return bytes_per_mem_cycle * channels / cpu_cycles_per_mem_cycle;
+}
+
+void
+DramTimingParams::validate() const
+{
+    if (channels == 0 || ranks_per_channel == 0 || banks_per_rank == 0)
+        fatal("%s: zero geometry dimension", name.c_str());
+    if (!isPowerOf2(channels) || !isPowerOf2(banks_per_rank) ||
+        !isPowerOf2(ranks_per_channel)) {
+        fatal("%s: geometry must be powers of two", name.c_str());
+    }
+    if (!isPowerOf2(row_buffer_bytes) || row_buffer_bytes < kSubblockSize)
+        fatal("%s: bad row buffer size", name.c_str());
+    if (bus_width_bits % 8 != 0 || bus_width_bits == 0)
+        fatal("%s: bus width must be a positive byte multiple",
+              name.c_str());
+    if (cpu_cycles_per_mem_cycle == 0)
+        fatal("%s: zero clock divider", name.c_str());
+    if (t_cas == 0 || t_rcd == 0 || t_rp == 0 || t_ras == 0)
+        fatal("%s: zero core timing parameter", name.c_str());
+}
+
+DramTimingParams
+hbm2Params()
+{
+    DramTimingParams p;
+    p.name = "hbm2";
+    p.bus_freq_mhz = 800;
+    p.bus_width_bits = 128;
+    p.channels = 8;
+    p.ranks_per_channel = 1;
+    p.banks_per_rank = 8;
+    p.row_buffer_bytes = 8192;
+    // JEDEC 235A-derived core timings at 800 MHz (1.25 ns cycles):
+    // ~17.5ns CAS/RCD/RP, ~42.5ns RAS.
+    p.t_cas = 14;
+    p.t_rcd = 14;
+    p.t_rp = 14;
+    p.t_ras = 34;
+    p.t_refi = 3120;   // 3.9 us
+    p.t_rfc = 208;     // 260 ns
+    p.queue_depth = 32;
+    p.cpu_cycles_per_mem_cycle = 4;
+    // Die-stacked DRAM moves bits over short TSVs: low per-bit energy.
+    p.energy.act_pre_pj = 3000.0;
+    p.energy.pj_per_bit = 4.0;
+    p.energy.background_mw_per_channel = 55.0;
+    return p;
+}
+
+DramTimingParams
+ddr3Params()
+{
+    DramTimingParams p;
+    p.name = "ddr3";
+    p.bus_freq_mhz = 800;
+    p.bus_width_bits = 64;
+    p.channels = 4;
+    p.ranks_per_channel = 1;
+    p.banks_per_rank = 8;
+    p.row_buffer_bytes = 8192;
+    // DDR3-1600 11-11-11-28 (JEDEC + vendor datasheets).
+    p.t_cas = 11;
+    p.t_rcd = 11;
+    p.t_rp = 11;
+    p.t_ras = 28;
+    p.t_refi = 6240;   // 7.8 us
+    p.t_rfc = 208;     // 260 ns
+    p.queue_depth = 32;
+    p.cpu_cycles_per_mem_cycle = 4;
+    // Off-chip DDR pays board-level I/O energy per bit.
+    p.energy.act_pre_pj = 20000.0;
+    p.energy.pj_per_bit = 24.0;
+    p.energy.background_mw_per_channel = 110.0;
+    return p;
+}
+
+} // namespace dram
+} // namespace silc

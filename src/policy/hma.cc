@@ -1,0 +1,164 @@
+#include "policy/hma.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace policy {
+
+HmaPolicy::HmaPolicy(PolicyEnv env, HmaParams params)
+    : FlatMemoryPolicy(env), params_(params)
+{
+    silc_assert(env_.nm != nullptr);
+    total_pages_ = flatSpaceBytes() / kLargeBlockSize;
+    nm_pages_ = env_.nm->capacity() / kLargeBlockSize;
+    frame_of_.resize(total_pages_);
+    page_at_.resize(total_pages_);
+    for (uint64_t p = 0; p < total_pages_; ++p) {
+        frame_of_[p] = static_cast<uint32_t>(p);
+        page_at_[p] = static_cast<uint32_t>(p);
+    }
+    counts_.assign(total_pages_, 0);
+    next_epoch_ = params_.epoch_ticks;
+}
+
+uint64_t
+HmaPolicy::flatSpaceBytes() const
+{
+    return env_.nm->capacity() + env_.fm->capacity();
+}
+
+Location
+HmaPolicy::locate(Addr paddr) const
+{
+    silc_assert(paddr < flatSpaceBytes());
+    const Addr sub = subblockAddr(paddr);
+    const uint64_t page = sub >> kLargeBlockBits;
+    const Addr offset = sub & (kLargeBlockSize - 1);
+    const Addr frame_addr =
+        static_cast<Addr>(frame_of_[page]) * kLargeBlockSize + offset;
+    return identityLocation(frame_addr);
+}
+
+void
+HmaPolicy::demandAccess(Addr paddr, bool is_write, CoreId core, Addr pc,
+                        DemandCallback done, Tick now)
+{
+    (void)is_write;
+    (void)pc;
+    const uint64_t page = paddr >> kLargeBlockBits;
+    if (counts_[page] < ~uint32_t(0))
+        ++counts_[page];
+
+    const Location loc = locate(paddr);
+    recordService(loc.in_nm);
+
+    if (now < os_busy_until_) {
+        // The OS is mid-migration: PTE updates and TLB shootdowns stall
+        // demand translation until the epoch work finishes.
+        dram::DramSystem *dev = &deviceFor(loc);
+        env_.events->schedule(
+            os_busy_until_,
+            [this, dev, loc, core, done = std::move(done)](Tick t) mutable {
+                issueRead(*dev, loc.device_addr,
+                          static_cast<uint32_t>(kSubblockSize),
+                          dram::TrafficClass::Demand, core,
+                          std::move(done), t);
+            });
+        return;
+    }
+
+    issueRead(deviceFor(loc), loc.device_addr,
+              static_cast<uint32_t>(kSubblockSize),
+              dram::TrafficClass::Demand, core, std::move(done), now);
+}
+
+void
+HmaPolicy::swapPages(uint64_t page_a, uint64_t page_b, Tick now)
+{
+    const uint32_t fa = frame_of_[page_a];
+    const uint32_t fb = frame_of_[page_b];
+
+    // 2KB in each direction.
+    for (uint32_t s = 0; s < kSubblocksPerBlock; ++s) {
+        const Addr off = static_cast<Addr>(s) * kSubblockSize;
+        const Location la = identityLocation(
+            static_cast<Addr>(fa) * kLargeBlockSize + off);
+        const Location lb = identityLocation(
+            static_cast<Addr>(fb) * kLargeBlockSize + off);
+        moveSubblock(la, lb, 0, now);
+        moveSubblock(lb, la, 0, now);
+    }
+
+    frame_of_[page_a] = fb;
+    frame_of_[page_b] = fa;
+    page_at_[fa] = static_cast<uint32_t>(page_b);
+    page_at_[fb] = static_cast<uint32_t>(page_a);
+}
+
+void
+HmaPolicy::runEpoch(Tick now)
+{
+    ++epochs_;
+
+    // Hot FM-resident pages, hottest first.
+    std::vector<uint32_t> hot;
+    for (uint64_t p = 0; p < total_pages_; ++p) {
+        if (counts_[p] >= params_.hot_threshold &&
+            frame_of_[p] >= nm_pages_) {
+            hot.push_back(static_cast<uint32_t>(p));
+        }
+    }
+    std::sort(hot.begin(), hot.end(),
+              [this](uint32_t a, uint32_t b) {
+                  return counts_[a] > counts_[b];
+              });
+
+    // NM-resident pages, coldest first (eviction candidates).
+    std::vector<uint32_t> nm_resident;
+    nm_resident.reserve(nm_pages_);
+    for (uint64_t f = 0; f < nm_pages_; ++f)
+        nm_resident.push_back(page_at_[f]);
+    std::sort(nm_resident.begin(), nm_resident.end(),
+              [this](uint32_t a, uint32_t b) {
+                  return counts_[a] < counts_[b];
+              });
+
+    uint32_t migrated = 0;
+    size_t victim_idx = 0;
+    for (uint32_t hot_page : hot) {
+        if (migrated >= params_.max_migrations_per_epoch)
+            break;
+        if (victim_idx >= nm_resident.size())
+            break;
+        const uint32_t victim = nm_resident[victim_idx];
+        // Only evict strictly colder pages.
+        if (counts_[victim] >= counts_[hot_page])
+            break;
+        swapPages(hot_page, victim, now);
+        ++victim_idx;
+        ++migrated;
+    }
+
+    pages_migrated_ += migrated;
+    if (migrated > 0) {
+        os_busy_until_ = now + params_.os_base_overhead +
+            static_cast<Tick>(migrated) * params_.os_per_page_overhead;
+    }
+
+    // Epoch counters restart.
+    std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+void
+HmaPolicy::tick(Tick now)
+{
+    if (now >= next_epoch_) {
+        runEpoch(now);
+        next_epoch_ += params_.epoch_ticks;
+    }
+}
+
+} // namespace policy
+} // namespace silc

@@ -1,0 +1,102 @@
+#include "policy/policy.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace policy {
+
+FlatMemoryPolicy::FlatMemoryPolicy(PolicyEnv env)
+    : env_(env)
+{
+    silc_assert(env_.fm != nullptr);
+    silc_assert(env_.events != nullptr);
+    // env_.nm may be null only for the no-NM baseline.
+}
+
+Location
+FlatMemoryPolicy::identityLocation(Addr paddr) const
+{
+    const uint64_t nm_bytes = env_.nm ? env_.nm->capacity() : 0;
+    Location loc;
+    if (paddr < nm_bytes) {
+        loc.in_nm = true;
+        loc.device_addr = paddr;
+    } else {
+        loc.in_nm = false;
+        loc.device_addr = paddr - nm_bytes;
+    }
+    return loc;
+}
+
+dram::DramSystem &
+FlatMemoryPolicy::deviceFor(const Location &loc) const
+{
+    if (loc.in_nm) {
+        silc_assert(env_.nm != nullptr);
+        return *env_.nm;
+    }
+    return *env_.fm;
+}
+
+void
+FlatMemoryPolicy::issueRead(dram::DramSystem &dev, Addr dev_addr,
+                            uint32_t bytes, dram::TrafficClass cls,
+                            CoreId core, DemandCallback cb, Tick now,
+                            int force_channel)
+{
+    dram::DramRequest req;
+    req.addr = dev_addr;
+    req.is_write = false;
+    req.bytes = bytes;
+    req.traffic = cls;
+    req.core = core;
+    req.force_channel = force_channel;
+    req.on_complete = std::move(cb);
+    dev.issue(std::move(req), now);
+}
+
+void
+FlatMemoryPolicy::issueWrite(dram::DramSystem &dev, Addr dev_addr,
+                             uint32_t bytes, dram::TrafficClass cls,
+                             CoreId core, Tick now, int force_channel)
+{
+    dram::DramRequest req;
+    req.addr = dev_addr;
+    req.is_write = true;
+    req.bytes = bytes;
+    req.traffic = cls;
+    req.core = core;
+    req.force_channel = force_channel;
+    dev.issue(std::move(req), now);
+}
+
+void
+FlatMemoryPolicy::moveSubblock(const Location &src, const Location &dst,
+                               CoreId core, Tick now)
+{
+    ++migration_ops_;
+    dram::DramSystem &src_dev = deviceFor(src);
+    dram::DramSystem *dst_dev = &deviceFor(dst);
+    const Addr dst_addr = dst.device_addr;
+    issueRead(src_dev, src.device_addr,
+              static_cast<uint32_t>(kSubblockSize),
+              dram::TrafficClass::Migration, core,
+              [this, dst_dev, dst_addr, core](Tick t) {
+                  issueWrite(*dst_dev, dst_addr,
+                             static_cast<uint32_t>(kSubblockSize),
+                             dram::TrafficClass::Migration, core, t);
+              },
+              now);
+}
+
+void
+FlatMemoryPolicy::writeback(Addr paddr, CoreId core, Tick now)
+{
+    const Location loc = locate(subblockAddr(paddr));
+    issueWrite(deviceFor(loc), loc.device_addr,
+               static_cast<uint32_t>(kSubblockSize),
+               dram::TrafficClass::Writeback, core, now);
+}
+
+} // namespace policy
+} // namespace silc

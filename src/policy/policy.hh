@@ -1,0 +1,205 @@
+/**
+ * @file
+ * FlatMemoryPolicy: the interface every NM/FM organization scheme
+ * implements (Random static, HMA, CAMEO, CAMEO+P, PoM, SILC-FM, plus the
+ * no-NM baseline).
+ *
+ * A policy owns the flat OS-visible physical address space (NM occupies
+ * the low addresses, FM the high ones, per Section III of the paper) and
+ * decides, for every LLC miss, where the data currently lives, what
+ * migration traffic to generate, and when the demand completes.
+ *
+ * Policies are functional-first: remap state updates synchronously while
+ * every byte moved — demand, migration, metadata — is issued into the
+ * DRAM systems so queues, banks, and buses see realistic occupancy.
+ */
+
+#ifndef SILC_POLICY_POLICY_HH
+#define SILC_POLICY_POLICY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+#include "dram/dram_system.hh"
+
+namespace silc {
+namespace policy {
+
+/** Completion callback for a demand access. */
+using DemandCallback = std::function<void(Tick)>;
+
+/** Where a flat physical 64B block currently resides. */
+struct Location
+{
+    bool in_nm = false;
+    /** Device-local byte address. */
+    Addr device_addr = 0;
+
+    bool operator==(const Location &) const = default;
+};
+
+/** Devices and services a policy operates on. */
+struct PolicyEnv
+{
+    dram::DramSystem *nm = nullptr;
+    dram::DramSystem *fm = nullptr;
+    EventQueue *events = nullptr;
+};
+
+/** Base class of all flat-memory organization schemes. */
+class FlatMemoryPolicy
+{
+  public:
+    explicit FlatMemoryPolicy(PolicyEnv env);
+    virtual ~FlatMemoryPolicy() = default;
+
+    FlatMemoryPolicy(const FlatMemoryPolicy &) = delete;
+    FlatMemoryPolicy &operator=(const FlatMemoryPolicy &) = delete;
+
+    /** Short scheme name ("silcfm", "cameo", ...). */
+    virtual const char *name() const = 0;
+
+    /** Bytes of OS-visible flat physical address space. */
+    virtual uint64_t flatSpaceBytes() const = 0;
+
+    /**
+     * Service an LLC demand miss for the 64B block at @p paddr.
+     *
+     * @param paddr    flat physical address (64B aligned)
+     * @param is_write the miss was triggered by a store (fetch-for-write)
+     * @param core     requesting core
+     * @param pc       program counter of the triggering instruction
+     * @param done     fired when the critical data is available
+     * @param now      current tick
+     */
+    virtual void demandAccess(Addr paddr, bool is_write, CoreId core,
+                              Addr pc, DemandCallback done, Tick now) = 0;
+
+    /**
+     * Accept an LLC dirty eviction of the 64B block at @p paddr.
+     * Default: write to the block's current location.
+     */
+    virtual void writeback(Addr paddr, CoreId core, Tick now);
+
+    /** Periodic hook (epoch schemes, counter decay); called every tick. */
+    virtual void tick(Tick now) { (void)now; }
+
+    /**
+     * Current residence of the 64B block at @p paddr.  Used for
+     * writebacks and, in tests, to assert the mapping stays bijective.
+     */
+    virtual Location locate(Addr paddr) const = 0;
+
+    // ---- Access-rate statistics (paper Equation 1). ----
+
+    /** Demand requests serviced from NM. */
+    uint64_t nmServiced() const { return nm_serviced_; }
+    /** Demand requests serviced from FM. */
+    uint64_t fmServiced() const { return fm_serviced_; }
+    /** Total demand requests (LLC misses seen). */
+    uint64_t demandRequests() const
+    {
+        return nm_serviced_ + fm_serviced_;
+    }
+
+    /** AccessRate = NM-serviced / LLC misses (Equation 1). */
+    double
+    accessRate() const
+    {
+        const uint64_t total = demandRequests();
+        return total == 0
+            ? 0.0
+            : static_cast<double>(nm_serviced_) / total;
+    }
+
+    uint64_t migrationOps() const { return migration_ops_; }
+
+  protected:
+    /** Record where the critical data of a demand access came from. */
+    void
+    recordService(bool from_nm)
+    {
+        if (from_nm)
+            ++nm_serviced_;
+        else
+            ++fm_serviced_;
+    }
+
+    /** Issue a read into a device. @p cb may be empty. */
+    void issueRead(dram::DramSystem &dev, Addr dev_addr, uint32_t bytes,
+                   dram::TrafficClass cls, CoreId core,
+                   DemandCallback cb, Tick now, int force_channel = -1);
+
+    /** Issue a write into a device (fire-and-forget). */
+    void issueWrite(dram::DramSystem &dev, Addr dev_addr, uint32_t bytes,
+                    dram::TrafficClass cls, CoreId core, Tick now,
+                    int force_channel = -1);
+
+    /**
+     * Move one 64B subblock: read from @p src, then (on completion)
+     * write to @p dst.  Counts as one migration op.
+     */
+    void moveSubblock(const Location &src, const Location &dst,
+                      CoreId core, Tick now);
+
+    /** Device + address for a flat physical address (identity layout:
+     *  NM = low addresses, FM = high). */
+    Location identityLocation(Addr paddr) const;
+
+    dram::DramSystem &deviceFor(const Location &loc) const;
+
+    PolicyEnv env_;
+    uint64_t nm_serviced_ = 0;
+    uint64_t fm_serviced_ = 0;
+    uint64_t migration_ops_ = 0;
+};
+
+/**
+ * Counts down @p n completions, then fires.  Helper for transactions
+ * whose progress depends on several DRAM responses.
+ */
+class JoinBarrier : public std::enable_shared_from_this<JoinBarrier>
+{
+  public:
+    static std::shared_ptr<JoinBarrier>
+    create(uint32_t n, DemandCallback done)
+    {
+        return std::shared_ptr<JoinBarrier>(
+            new JoinBarrier(n, std::move(done)));
+    }
+
+    /** A completion callback that decrements the barrier. */
+    DemandCallback
+    arm()
+    {
+        auto self = shared_from_this();
+        return [self](Tick t) { self->signal(t); };
+    }
+
+    void
+    signal(Tick t)
+    {
+        latest_ = std::max(latest_, t);
+        if (--remaining_ == 0 && done_)
+            done_(latest_);
+    }
+
+  private:
+    JoinBarrier(uint32_t n, DemandCallback done)
+        : remaining_(n), done_(std::move(done))
+    {
+    }
+
+    uint32_t remaining_;
+    Tick latest_ = 0;
+    DemandCallback done_;
+};
+
+} // namespace policy
+} // namespace silc
+
+#endif // SILC_POLICY_POLICY_HH

@@ -1,0 +1,75 @@
+#include "policy/static_random.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace policy {
+
+// ---- FmOnlyPolicy ------------------------------------------------------
+
+FmOnlyPolicy::FmOnlyPolicy(PolicyEnv env)
+    : FlatMemoryPolicy(env)
+{
+}
+
+uint64_t
+FmOnlyPolicy::flatSpaceBytes() const
+{
+    return env_.fm->capacity();
+}
+
+Location
+FmOnlyPolicy::locate(Addr paddr) const
+{
+    silc_assert(paddr < env_.fm->capacity());
+    return Location{false, subblockAddr(paddr)};
+}
+
+void
+FmOnlyPolicy::demandAccess(Addr paddr, bool is_write, CoreId core,
+                           Addr pc, DemandCallback done, Tick now)
+{
+    (void)is_write;
+    (void)pc;
+    recordService(false);
+    issueRead(*env_.fm, subblockAddr(paddr),
+              static_cast<uint32_t>(kSubblockSize),
+              dram::TrafficClass::Demand, core, std::move(done), now);
+}
+
+// ---- StaticRandomPolicy ------------------------------------------------
+
+StaticRandomPolicy::StaticRandomPolicy(PolicyEnv env)
+    : FlatMemoryPolicy(env)
+{
+    silc_assert(env_.nm != nullptr);
+}
+
+uint64_t
+StaticRandomPolicy::flatSpaceBytes() const
+{
+    return env_.nm->capacity() + env_.fm->capacity();
+}
+
+Location
+StaticRandomPolicy::locate(Addr paddr) const
+{
+    silc_assert(paddr < flatSpaceBytes());
+    return identityLocation(subblockAddr(paddr));
+}
+
+void
+StaticRandomPolicy::demandAccess(Addr paddr, bool is_write, CoreId core,
+                                 Addr pc, DemandCallback done, Tick now)
+{
+    (void)is_write;
+    (void)pc;
+    const Location loc = locate(paddr);
+    recordService(loc.in_nm);
+    issueRead(deviceFor(loc), loc.device_addr,
+              static_cast<uint32_t>(kSubblockSize),
+              dram::TrafficClass::Demand, core, std::move(done), now);
+}
+
+} // namespace policy
+} // namespace silc

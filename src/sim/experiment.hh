@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The experiment runner used by the bench binaries: builds configs for
+ * (workload, scheme) pairs, caches no-NM baseline runs so speedups share
+ * a denominator, applies environment-variable scale overrides, and
+ * provides table formatting helpers.
+ *
+ * Scale knobs (environment variables, all optional):
+ *   SILC_CORES  - cores per run          (default 8)
+ *   SILC_INSTR  - instructions per core  (default 300000)
+ *   SILC_NM_MIB - NM capacity in MiB     (default 16)
+ *   SILC_FM_MIB - FM capacity in MiB     (default 64)
+ *   SILC_SEED   - RNG seed               (default 1)
+ */
+
+#ifndef SILC_SIM_EXPERIMENT_HH
+#define SILC_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hh"
+#include "sim/system.hh"
+
+namespace silc {
+namespace sim {
+
+/** Scale parameters shared by all bench binaries. */
+struct ExperimentOptions
+{
+    uint32_t cores = 8;
+    uint64_t instructions_per_core = 2'400'000;
+    uint64_t nm_bytes = 4 * 1024 * 1024;
+    uint64_t fm_bytes = 16 * 1024 * 1024;
+    uint64_t seed = 1;
+
+    /** Read overrides from the environment. */
+    static ExperimentOptions fromEnv();
+};
+
+/** Build a full SystemConfig for one run. */
+SystemConfig makeConfig(const std::string &workload, PolicyKind kind,
+                        const ExperimentOptions &opts);
+
+/**
+ * Runs simulations and caches the per-workload no-NM baseline so every
+ * speedup in a bench shares the same denominator (the paper's figure of
+ * merit: baseline time / scheme time).
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(ExperimentOptions opts);
+
+    const ExperimentOptions &options() const { return opts_; }
+
+    /** Run one (workload, scheme) pair. */
+    SimResult run(const std::string &workload, PolicyKind kind);
+
+    /** Run with a caller-tweaked config (capacity sweeps, ablations). */
+    SimResult runConfig(const SystemConfig &cfg);
+
+    /** Execution ticks of the cached no-NM baseline for @p workload. */
+    Tick baselineTicks(const std::string &workload);
+
+    /** Speedup of @p result against the no-NM baseline. */
+    double speedup(const SimResult &result);
+
+  private:
+    ExperimentOptions opts_;
+    std::map<std::string, Tick> baseline_cache_;
+};
+
+// ---- Small table-printing helpers shared by the benches. ----
+
+/** Print a header row: left label column plus one column per entry. */
+void printTableHeader(const std::string &label,
+                      const std::vector<std::string> &columns);
+
+/** Print one row of doubles under a matching header. */
+void printTableRow(const std::string &label,
+                   const std::vector<double> &values, int precision = 3);
+
+/** A horizontal rule sized for @p columns entries. */
+void printTableRule(size_t columns);
+
+} // namespace sim
+} // namespace silc
+
+#endif // SILC_SIM_EXPERIMENT_HH

@@ -1,0 +1,36 @@
+#include "sim/metrics.hh"
+
+#include <cmath>
+
+namespace silc {
+namespace sim {
+
+double
+SimResult::nmDemandFraction() const
+{
+    const double total = static_cast<double>(nm_demand_bytes) +
+        static_cast<double>(fm_demand_bytes);
+    return total == 0.0
+        ? 0.0
+        : static_cast<double>(nm_demand_bytes) / total;
+}
+
+double
+SimResult::seconds(double cpu_freq_hz) const
+{
+    return static_cast<double>(ticks) / cpu_freq_hz;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace sim
+} // namespace silc

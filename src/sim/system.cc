@@ -1,0 +1,468 @@
+#include "sim/system.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "policy/static_random.hh"
+#include "trace/file_trace.hh"
+#include "trace/profiles.hh"
+
+namespace silc {
+namespace sim {
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::FmOnly: return "fmonly";
+      case PolicyKind::Random: return "rand";
+      case PolicyKind::Hma: return "hma";
+      case PolicyKind::Cameo: return "cam";
+      case PolicyKind::CameoP: return "camp";
+      case PolicyKind::Pom: return "pom";
+      case PolicyKind::SilcFm: return "silcfm";
+    }
+    return "?";
+}
+
+PolicyKind
+policyKindFromName(const std::string &name)
+{
+    if (name == "fmonly") return PolicyKind::FmOnly;
+    if (name == "rand") return PolicyKind::Random;
+    if (name == "hma") return PolicyKind::Hma;
+    if (name == "cam" || name == "cameo") return PolicyKind::Cameo;
+    if (name == "camp") return PolicyKind::CameoP;
+    if (name == "pom") return PolicyKind::Pom;
+    if (name == "silcfm" || name == "silc") return PolicyKind::SilcFm;
+    fatal("unknown policy '%s'", name.c_str());
+}
+
+SystemConfig
+SystemConfig::defaults()
+{
+    SystemConfig cfg;
+
+    cfg.l1i.name = "l1i";
+    cfg.l1i.size_bytes = 64 * 1024;
+    cfg.l1i.associativity = 2;
+    cfg.l1i.latency_cycles = 4;
+
+    cfg.l1d.name = "l1d";
+    cfg.l1d.size_bytes = 16 * 1024;
+    cfg.l1d.associativity = 4;
+    cfg.l1d.latency_cycles = 4;
+
+    // Table II uses an 8MB shared L2 against multi-GB footprints
+    // (ratio >= 100x); this scaled system keeps the footprint:LLC ratio
+    // by using 512KB against 16-64MB footprints (see DESIGN.md).
+    cfg.l2.name = "l2";
+    cfg.l2.size_bytes = 256 * 1024;
+    cfg.l2.associativity = 16;
+    cfg.l2.latency_cycles = 11;
+
+    cfg.nm_timing = dram::hbm2Params();
+    cfg.fm_timing = dram::ddr3Params();
+    // Bandwidth scaling: the paper runs 16 cores against 128-bit x 8
+    // HBM channels and 64-bit x 4 DDR3 channels (4:1 NM:FM bandwidth)
+    // and is explicitly bandwidth-bound.  This scaled system (8 cores,
+    // 1/4 capacities) keeps the 4:1 ratio and the saturation regime by
+    // using 64-bit HBM pseudo-channels and 2 DDR3 channels.
+    cfg.nm_timing.bus_width_bits = 64;
+    cfg.fm_timing.channels = 2;
+    return cfg;
+}
+
+void
+SystemConfig::validate() const
+{
+    if (cores == 0)
+        fatal("system: at least one core required");
+    if (policy != PolicyKind::FmOnly) {
+        if (nm_bytes == 0 || fm_bytes % nm_bytes != 0)
+            fatal("system: FM capacity must be a multiple of NM "
+                  "capacity");
+    }
+    if (instructions_per_core == 0)
+        fatal("system: zero instruction budget");
+}
+
+namespace {
+
+std::unique_ptr<policy::FlatMemoryPolicy>
+makePolicy(const SystemConfig &cfg, policy::PolicyEnv env)
+{
+    switch (cfg.policy) {
+      case PolicyKind::FmOnly:
+        return std::make_unique<policy::FmOnlyPolicy>(env);
+      case PolicyKind::Random:
+        return std::make_unique<policy::StaticRandomPolicy>(env);
+      case PolicyKind::Hma:
+        return std::make_unique<policy::HmaPolicy>(env, cfg.hma);
+      case PolicyKind::Cameo: {
+        policy::CameoParams p = cfg.cameo;
+        p.prefetch_degree = 0;
+        return std::make_unique<policy::CameoPolicy>(env, p);
+      }
+      case PolicyKind::CameoP: {
+        policy::CameoParams p = cfg.cameo;
+        if (p.prefetch_degree == 0)
+            p.prefetch_degree = 3;
+        return std::make_unique<policy::CameoPolicy>(env, p);
+      }
+      case PolicyKind::Pom:
+        return std::make_unique<policy::PomPolicy>(env, cfg.pom);
+      case PolicyKind::SilcFm:
+        return std::make_unique<core::SilcFmPolicy>(env, cfg.silc);
+    }
+    panic("unreachable policy kind");
+}
+
+} // namespace
+
+// ---- MemoryHierarchy ---------------------------------------------------
+
+MemoryHierarchy::MemoryHierarchy(const SystemConfig &cfg,
+                                 Translation &translation,
+                                 policy::FlatMemoryPolicy &policy,
+                                 EventQueue &events)
+    : cfg_(cfg),
+      translation_(translation),
+      policy_(policy),
+      events_(events),
+      l2_(cfg.l2),
+      mshr_(cfg.mshr_entries, cfg.mshr_per_core)
+{
+    l1i_.reserve(cfg.cores);
+    l1d_.reserve(cfg.cores);
+    for (uint32_t c = 0; c < cfg.cores; ++c) {
+        cache::CacheParams pi = cfg.l1i;
+        cache::CacheParams pd = cfg.l1d;
+        pi.name = "l1i" + std::to_string(c);
+        pd.name = "l1d" + std::to_string(c);
+        l1i_.emplace_back(pi);
+        l1d_.emplace_back(pd);
+    }
+    last_iline_.assign(cfg.cores, kAddrInvalid);
+    llc_misses_.assign(cfg.cores, 0);
+}
+
+uint64_t
+MemoryHierarchy::l1dAccesses() const
+{
+    uint64_t n = 0;
+    for (const auto &c : l1d_)
+        n += c.hits() + c.misses();
+    return n;
+}
+
+bool
+MemoryHierarchy::access(CoreId core, Addr vaddr, Addr pc, bool is_write,
+                        std::function<void(Tick)> done, Tick now)
+{
+    // Instruction side: functional, virtually addressed, per 64B line.
+    const Addr iline = subblockAddr(pc);
+    if (iline != last_iline_[core]) {
+        last_iline_[core] = iline;
+        l1i_[core].access(iline, false);
+    }
+
+    const Addr paddr = translation_.translate(core, vaddr);
+    cache::Cache &l1 = l1d_[core];
+
+    // L1 hit path.
+    if (l1.probe(paddr)) {
+        l1.access(paddr, is_write);
+        if (done)
+            done(now + cfg_.l1_latency);
+        return true;
+    }
+
+    // L2 hit path: check *before* mutating anything so MSHR rejection
+    // leaves the caches untouched.
+    const bool l2_hit = l2_.probe(paddr);
+    const Addr block = subblockAddr(paddr);
+
+    if (!l2_hit) {
+        // Demand miss at the LLC: needs an MSHR.
+        auto fill_cb = [this, core, paddr, is_write,
+                        done = std::move(done)](Tick t) mutable {
+            // Install into both levels; victims cascade downwards.
+            auto o2 = l2_.fill(paddr, false);
+            if (o2.writeback)
+                policy_.writeback(o2.writeback_addr, core, t);
+            auto o1 = l1d_[core].fill(paddr, is_write);
+            if (o1.writeback) {
+                auto ol2 = l2_.fill(o1.writeback_addr, true);
+                if (ol2.writeback)
+                    policy_.writeback(ol2.writeback_addr, core, t);
+            }
+            if (done)
+                done(t + cfg_.fill_latency);
+        };
+
+        const auto alloc = mshr_.allocate(block, core, std::move(fill_cb));
+        if (alloc == cache::MshrAllocation::NoCapacity)
+            return false;
+
+        ++llc_misses_[core];
+        ++llc_misses_total_;
+
+        if (alloc == cache::MshrAllocation::Primary) {
+            policy_.demandAccess(
+                block, is_write, core, pc,
+                [this, block, now](Tick t) {
+                    miss_latency_sum_ += static_cast<double>(t - now);
+                    ++misses_completed_;
+                    mshr_.complete(block, t);
+                },
+                now);
+        }
+        // Record the misses in statistics; the functional install is
+        // deferred to the fill callback.
+        l1.noteMiss();
+        l2_.noteMiss();
+        return true;
+    }
+
+    // L2 hit: fill L1, cascade any dirty L1 victim into L2.
+    l2_.access(paddr, false);
+    auto o1 = l1.access(paddr, is_write);
+    if (o1.writeback) {
+        auto ol2 = l2_.fill(o1.writeback_addr, true);
+        if (ol2.writeback)
+            policy_.writeback(ol2.writeback_addr, core, now);
+    }
+    if (done)
+        done(now + cfg_.l2_latency);
+    return true;
+}
+
+// ---- System ------------------------------------------------------------
+
+System::System(SystemConfig cfg)
+    : cfg_(std::move(cfg))
+{
+    cfg_.validate();
+
+    if (cfg_.policy != PolicyKind::FmOnly) {
+        nm_ = std::make_unique<dram::DramSystem>(cfg_.nm_timing,
+                                                 cfg_.nm_bytes, events_);
+    }
+    fm_ = std::make_unique<dram::DramSystem>(cfg_.fm_timing,
+                                             cfg_.fm_bytes, events_);
+
+    policy::PolicyEnv env;
+    env.nm = nm_.get();
+    env.fm = fm_.get();
+    env.events = &events_;
+    policy_ = makePolicy(cfg_, env);
+
+    translation_ = std::make_unique<Translation>(
+        policy_->flatSpaceBytes(), cfg_.seed);
+
+    hierarchy_ = std::make_unique<MemoryHierarchy>(cfg_, *translation_,
+                                                   *policy_, events_);
+
+    cpu::CoreParams core_params = cfg_.core_params;
+    core_params.instruction_budget = cfg_.instructions_per_core;
+
+    for (uint32_t c = 0; c < cfg_.cores; ++c) {
+        if (!cfg_.trace_file.empty()) {
+            traces_.push_back(std::make_unique<trace::FileTraceReader>(
+                cfg_.trace_file));
+        } else {
+            const trace::WorkloadProfile &profile =
+                trace::findProfile(cfg_.workload);
+            traces_.push_back(
+                std::make_unique<trace::SyntheticGenerator>(
+                    profile, cfg_.seed * 7919 + c * 104729 + 13));
+        }
+        cores_.push_back(std::make_unique<cpu::Core>(
+            c, core_params, *traces_.back(), *hierarchy_));
+    }
+}
+
+System::~System() = default;
+
+SimResult
+System::run()
+{
+    Tick cycle = 0;
+    bool all_done = false;
+    while (cycle < cfg_.max_ticks) {
+        events_.runDue(cycle);
+        all_done = true;
+        for (auto &core : cores_) {
+            core->tick(cycle);
+            all_done &= core->done();
+        }
+        if (nm_)
+            nm_->tick(cycle);
+        fm_->tick(cycle);
+        policy_->tick(cycle);
+        if (all_done)
+            break;
+        ++cycle;
+    }
+
+    SimResult r;
+    r.scheme = policyKindName(cfg_.policy);
+    r.workload = cfg_.workload;
+    r.cores = cfg_.cores;
+    r.instructions =
+        cfg_.instructions_per_core * static_cast<uint64_t>(cfg_.cores);
+    r.hit_tick_limit = !all_done;
+
+    Tick finish = 0;
+    for (auto &core : cores_)
+        finish = std::max(finish, core->finishTick());
+    r.ticks = all_done ? finish : cfg_.max_ticks;
+    if (r.ticks == 0)
+        r.ticks = 1;
+
+    if (!all_done) {
+        warn("run %s/%s hit the tick limit (%llu)", r.scheme.c_str(),
+             r.workload.c_str(),
+             static_cast<unsigned long long>(cfg_.max_ticks));
+    }
+
+    r.ipc = static_cast<double>(r.instructions) /
+        static_cast<double>(r.ticks) / cfg_.cores;
+    r.llc_misses = hierarchy_->llcMisses();
+    r.mpki = 1000.0 * static_cast<double>(r.llc_misses) /
+        static_cast<double>(r.instructions);
+    r.footprint_pages = translation_->pagesAllocated();
+    r.avg_miss_latency = hierarchy_->avgMissLatency();
+    r.access_rate = policy_->accessRate();
+
+    const auto demand = static_cast<size_t>(dram::TrafficClass::Demand);
+    const auto migr = static_cast<size_t>(dram::TrafficClass::Migration);
+    const auto meta = static_cast<size_t>(dram::TrafficClass::Metadata);
+    const auto &ft = fm_->traffic();
+    r.fm_demand_bytes = ft.read[demand] + ft.write[demand];
+    r.fm_total_bytes = ft.total();
+    r.migration_bytes = ft.read[migr] + ft.write[migr];
+    r.metadata_bytes = ft.read[meta] + ft.write[meta];
+    if (nm_) {
+        const auto &nt = nm_->traffic();
+        r.nm_demand_bytes = nt.read[demand] + nt.write[demand];
+        r.nm_total_bytes = nt.total();
+        r.migration_bytes += nt.read[migr] + nt.write[migr];
+        r.metadata_bytes += nt.read[meta] + nt.write[meta];
+    }
+
+    const uint64_t fm_rb = fm_->rowHits() + fm_->rowMisses();
+    r.fm_row_hit_rate = fm_rb == 0
+        ? 0.0
+        : static_cast<double>(fm_->rowHits()) / fm_rb;
+    r.fm_bus_utilization = fm_->busUtilization(r.ticks);
+    r.fm_avg_read_queue_ticks = fm_->avgReadQueueDelay();
+    if (nm_) {
+        const uint64_t nm_rb = nm_->rowHits() + nm_->rowMisses();
+        r.nm_row_hit_rate = nm_rb == 0
+            ? 0.0
+            : static_cast<double>(nm_->rowHits()) / nm_rb;
+        r.nm_bus_utilization = nm_->busUtilization(r.ticks);
+        r.nm_avg_read_queue_ticks = nm_->avgReadQueueDelay();
+    }
+
+    const double cpu_freq_hz = 3.2e9;
+    r.energy_fm_j = fm_->energyJoules(r.ticks, cpu_freq_hz);
+    r.energy_nm_j =
+        nm_ ? nm_->energyJoules(r.ticks, cpu_freq_hz) : 0.0;
+    r.energy_total_j = r.energy_fm_j + r.energy_nm_j;
+    r.edp = r.energy_total_j * r.seconds(cpu_freq_hz);
+    return r;
+}
+
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    stats::StatSet set;
+    // The set holds pointers; keep the stat objects alive for the dump.
+    std::vector<std::unique_ptr<stats::Scalar>> scalars;
+    std::vector<std::unique_ptr<stats::Average>> averages;
+
+    auto add_scalar = [&](const std::string &name, uint64_t value,
+                          const char *desc) {
+        auto stat = std::make_unique<stats::Scalar>();
+        *stat += value;
+        set.add(name, stat->describe(desc));
+        scalars.push_back(std::move(stat));
+    };
+    auto add_avg = [&](const std::string &name, double value,
+                       const char *desc) {
+        auto stat = std::make_unique<stats::Average>();
+        stat->sample(value);
+        set.add(name, stat->describe(desc));
+        averages.push_back(std::move(stat));
+    };
+
+    for (uint32_t c = 0; c < cfg_.cores; ++c) {
+        const std::string pfx = "core" + std::to_string(c) + ".";
+        const cpu::Core &core = *cores_[c];
+        add_scalar(pfx + "retired", core.retired(),
+                   "instructions retired");
+        add_scalar(pfx + "loads", core.loads(), "loads issued");
+        add_scalar(pfx + "stores", core.stores(), "stores issued");
+        add_scalar(pfx + "robFullCycles", core.robFullCycles(),
+                   "dispatch cycles blocked on a full ROB");
+        add_scalar(pfx + "memStallCycles", core.memStallCycles(),
+                   "dispatch cycles blocked on memory backpressure");
+        add_scalar(pfx + "finishTick", core.finishTick(),
+                   "tick the budget retired");
+        const cache::Cache &l1 = hierarchy_->l1d(c);
+        add_scalar(pfx + "l1d.hits", l1.hits(), "L1D hits");
+        add_scalar(pfx + "l1d.misses", l1.misses(), "L1D misses");
+    }
+
+    add_scalar("l2.hits", hierarchy_->l2().hits(), "shared L2 hits");
+    add_scalar("l2.misses", hierarchy_->l2().misses(),
+               "shared L2 misses");
+    add_scalar("l2.writebacks", hierarchy_->l2().writebacks(),
+               "dirty L2 evictions");
+    add_scalar("mshr.coalesced", hierarchy_->mshrs().coalesced(),
+               "misses merged into outstanding entries");
+    add_scalar("mshr.rejections", hierarchy_->mshrs().rejections(),
+               "allocations rejected (backpressure)");
+    add_scalar("llc.misses", hierarchy_->llcMisses(),
+               "demand misses past the LLC");
+    add_avg("llc.avgMissLatency", hierarchy_->avgMissLatency(),
+            "mean ticks from miss to fill");
+
+    auto add_dram = [&](const char *pfx, const dram::DramSystem &dev) {
+        const std::string p(pfx);
+        add_scalar(p + ".reads", dev.readsServed(), "reads serviced");
+        add_scalar(p + ".writes", dev.writesServed(),
+                   "writes serviced");
+        add_scalar(p + ".rowHits", dev.rowHits(), "row buffer hits");
+        add_scalar(p + ".rowMisses", dev.rowMisses(),
+                   "row buffer misses");
+        add_scalar(p + ".activations", dev.activations(),
+                   "row activations");
+        add_scalar(p + ".bytes", dev.traffic().total(),
+                   "total bytes transferred");
+        add_scalar(p + ".demandBytes", dev.demandBytes(),
+                   "demand-class bytes");
+        add_avg(p + ".avgReadQueueDelay", dev.avgReadQueueDelay(),
+                "mean read queueing delay (ticks)");
+    };
+    if (nm_)
+        add_dram("nm", *nm_);
+    add_dram("fm", *fm_);
+
+    add_scalar("policy.nmServiced", policy_->nmServiced(),
+               "demand requests serviced by NM");
+    add_scalar("policy.fmServiced", policy_->fmServiced(),
+               "demand requests serviced by FM");
+    add_scalar("policy.migrationOps", policy_->migrationOps(),
+               "subblock migration operations");
+    add_avg("policy.accessRate", policy_->accessRate(),
+            "Equation 1 access rate");
+
+    set.dump(os, std::string(policy_->name()) + ".");
+}
+
+} // namespace sim
+} // namespace silc

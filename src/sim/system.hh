@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Full-system assembly: cores + caches + MSHRs + translation + a
+ * flat-memory policy + two DRAM systems, with the cycle loop and metric
+ * extraction.  This is the top-level public API most users touch:
+ *
+ *     sim::SystemConfig cfg = sim::SystemConfig::defaults();
+ *     cfg.workload = "mcf";
+ *     cfg.policy = sim::PolicyKind::SilcFm;
+ *     sim::System system(cfg);
+ *     sim::SimResult r = system.run();
+ */
+
+#ifndef SILC_SIM_SYSTEM_HH
+#define SILC_SIM_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "common/event_queue.hh"
+#include "core/silc_fm.hh"
+#include "cpu/core.hh"
+#include "dram/dram_system.hh"
+#include "policy/cameo.hh"
+#include "policy/hma.hh"
+#include "policy/pom.hh"
+#include "sim/metrics.hh"
+#include "sim/translation.hh"
+#include "trace/generator.hh"
+
+namespace silc {
+namespace sim {
+
+/** Which flat-memory organization scheme to simulate. */
+enum class PolicyKind
+{
+    FmOnly,   ///< no-NM baseline (speedup denominator)
+    Random,   ///< random static placement, no migration
+    Hma,      ///< epoch-based OS management
+    Cameo,    ///< 64B hardware swapping
+    CameoP,   ///< CAMEO + next-3-line prefetch
+    Pom,      ///< 2KB hardware migration
+    SilcFm,   ///< this paper
+};
+
+const char *policyKindName(PolicyKind kind);
+PolicyKind policyKindFromName(const std::string &name);
+
+/** All knobs of one simulation. */
+struct SystemConfig
+{
+    uint32_t cores = 8;
+    uint64_t instructions_per_core = 500'000;
+    std::string workload = "mcf";
+    /**
+     * When non-empty, cores replay this recorded trace file (see
+     * trace/file_trace.hh) instead of synthesising the workload; every
+     * core replays the same trace, as in SPEC rate mode.
+     */
+    std::string trace_file;
+    PolicyKind policy = PolicyKind::SilcFm;
+    uint64_t seed = 1;
+
+    uint64_t nm_bytes = 4 * 1024 * 1024;
+    uint64_t fm_bytes = 16 * 1024 * 1024;
+
+    cpu::CoreParams core_params;
+    uint32_t l1_latency = 4;
+    uint32_t l2_latency = 15;
+    /** Extra ticks between LLC fill and dependent wakeup. */
+    uint32_t fill_latency = 2;
+
+    cache::CacheParams l1i;
+    cache::CacheParams l1d;
+    cache::CacheParams l2;
+
+    uint32_t mshr_entries = 128;
+    uint32_t mshr_per_core = 16;
+
+    dram::DramTimingParams nm_timing;
+    dram::DramTimingParams fm_timing;
+
+    core::SilcFmParams silc;
+    policy::HmaParams hma;
+    policy::PomParams pom;
+    policy::CameoParams cameo;
+
+    /** Safety cutoff. */
+    Tick max_ticks = 500'000'000;
+
+    /** Table II defaults (with capacity/L2 scaled as per DESIGN.md). */
+    static SystemConfig defaults();
+
+    /** fatal() on inconsistent settings. */
+    void validate() const;
+};
+
+class MemoryHierarchy;
+
+/** One complete simulated machine. */
+class System
+{
+  public:
+    explicit System(SystemConfig cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Run to completion (or the tick limit) and collect metrics. */
+    SimResult run();
+
+    /**
+     * Dump a gem5-style "name value # description" statistics listing
+     * for every component (cores, caches, MSHRs, DRAM devices, policy)
+     * — call after run().
+     */
+    void dumpStats(std::ostream &os) const;
+
+    const SystemConfig &config() const { return cfg_; }
+    policy::FlatMemoryPolicy &policyRef() { return *policy_; }
+    dram::DramSystem *nm() { return nm_.get(); }
+    dram::DramSystem &fm() { return *fm_; }
+    MemoryHierarchy &hierarchy() { return *hierarchy_; }
+    cpu::Core &core(uint32_t i) { return *cores_[i]; }
+    EventQueue &events() { return events_; }
+
+  private:
+    SystemConfig cfg_;
+    EventQueue events_;
+    std::unique_ptr<dram::DramSystem> nm_;
+    std::unique_ptr<dram::DramSystem> fm_;
+    std::unique_ptr<policy::FlatMemoryPolicy> policy_;
+    std::unique_ptr<Translation> translation_;
+    std::unique_ptr<MemoryHierarchy> hierarchy_;
+    std::vector<std::unique_ptr<trace::TraceSource>> traces_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+};
+
+/**
+ * The cache/MSHR stack between cores and the policy; implements the
+ * cpu::MemoryPort the cores issue into.
+ */
+class MemoryHierarchy : public cpu::MemoryPort
+{
+  public:
+    MemoryHierarchy(const SystemConfig &cfg, Translation &translation,
+                    policy::FlatMemoryPolicy &policy, EventQueue &events);
+
+    bool access(CoreId core, Addr vaddr, Addr pc, bool is_write,
+                std::function<void(Tick)> done, Tick now) override;
+
+    uint64_t llcMisses() const { return llc_misses_total_; }
+
+    /** Mean ticks from LLC miss issue to fill. */
+    double
+    avgMissLatency() const
+    {
+        return misses_completed_ == 0
+            ? 0.0
+            : miss_latency_sum_ / static_cast<double>(misses_completed_);
+    }
+    uint64_t llcMissesFor(CoreId core) const
+    {
+        return llc_misses_[core];
+    }
+    uint64_t l1dAccesses() const;
+
+    const cache::Cache &l1d(CoreId core) const { return l1d_[core]; }
+    const cache::Cache &l1i(CoreId core) const { return l1i_[core]; }
+    const cache::Cache &l2() const { return l2_; }
+    const cache::MshrFile &mshrs() const { return mshr_; }
+
+  private:
+    const SystemConfig &cfg_;
+    Translation &translation_;
+    policy::FlatMemoryPolicy &policy_;
+    EventQueue &events_;
+
+    std::vector<cache::Cache> l1i_;
+    std::vector<cache::Cache> l1d_;
+    cache::Cache l2_;
+    cache::MshrFile mshr_;
+
+    std::vector<Addr> last_iline_;
+    std::vector<uint64_t> llc_misses_;
+    uint64_t llc_misses_total_ = 0;
+    double miss_latency_sum_ = 0.0;
+    uint64_t misses_completed_ = 0;
+};
+
+} // namespace sim
+} // namespace silc
+
+#endif // SILC_SIM_SYSTEM_HH

@@ -1,0 +1,53 @@
+#include "sim/translation.hh"
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace sim {
+
+Translation::Translation(uint64_t phys_bytes, uint64_t seed)
+{
+    if (phys_bytes == 0 || phys_bytes % kLargeBlockSize != 0)
+        fatal("translation: physical space must be a positive multiple "
+              "of the page size");
+    const uint64_t n = phys_bytes / kLargeBlockSize;
+    frames_.resize(n);
+    for (uint64_t i = 0; i < n; ++i)
+        frames_[i] = i;
+    // Pre-shuffled free list => uniformly random first-touch placement.
+    Rng rng(seed ^ 0xA110CA7E);
+    for (uint64_t i = n; i > 1; --i) {
+        const uint64_t j = rng.below(i);
+        std::swap(frames_[i - 1], frames_[j]);
+    }
+}
+
+Addr
+Translation::translate(CoreId core, Addr vaddr)
+{
+    const uint64_t vpage = vaddr >> kLargeBlockBits;
+    const uint64_t k = key(core, vpage);
+    auto it = page_table_.find(k);
+    uint64_t frame;
+    if (it != page_table_.end()) {
+        frame = it->second;
+    } else {
+        if (next_free_ >= frames_.size())
+            fatal("translation: out of physical memory after %llu pages",
+                  static_cast<unsigned long long>(next_free_));
+        frame = frames_[next_free_++];
+        page_table_.emplace(k, frame);
+        ++per_core_pages_[core];
+    }
+    return frame * kLargeBlockSize + (vaddr & (kLargeBlockSize - 1));
+}
+
+uint64_t
+Translation::pagesAllocatedFor(CoreId core) const
+{
+    auto it = per_core_pages_.find(core);
+    return it == per_core_pages_.end() ? 0 : it->second;
+}
+
+} // namespace sim
+} // namespace silc

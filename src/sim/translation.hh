@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Virtual-to-physical translation with 2KB pages (Section IV-A).
+ *
+ * First-touch allocation over a pre-shuffled free-frame list gives the
+ * random static placement the paper's schemes start from; per-core
+ * address spaces are disjoint (SPEC rate mode: "different instances do
+ * not share the same physical address space").
+ */
+
+#ifndef SILC_SIM_TRANSLATION_HH
+#define SILC_SIM_TRANSLATION_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace silc {
+namespace sim {
+
+/** The page-table / frame-allocator pair. */
+class Translation
+{
+  public:
+    /**
+     * @param phys_bytes flat physical space size (policy-defined)
+     * @param seed       RNG seed for the frame shuffle
+     */
+    Translation(uint64_t phys_bytes, uint64_t seed);
+
+    /**
+     * Translate @p vaddr of @p core, allocating a frame on first touch.
+     * fatal() when physical memory is exhausted.
+     */
+    Addr translate(CoreId core, Addr vaddr);
+
+    /** Pages allocated so far (the measured footprint). */
+    uint64_t pagesAllocated() const { return next_free_; }
+
+    /** Pages allocated for one core. */
+    uint64_t pagesAllocatedFor(CoreId core) const;
+
+    uint64_t totalFrames() const { return frames_.size(); }
+
+  private:
+    static uint64_t
+    key(CoreId core, uint64_t vpage)
+    {
+        return (static_cast<uint64_t>(core) << 40) | vpage;
+    }
+
+    std::unordered_map<uint64_t, uint64_t> page_table_;
+    std::unordered_map<CoreId, uint64_t> per_core_pages_;
+    std::vector<uint64_t> frames_;
+    uint64_t next_free_ = 0;
+};
+
+} // namespace sim
+} // namespace silc
+
+#endif // SILC_SIM_TRANSLATION_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The 14 SPEC CPU2006-like workload profiles of Table III, grouped into
+ * low / medium / high LLC MPKI classes, with per-benchmark locality
+ * characters chosen to reproduce the behaviours the paper calls out
+ * (e.g. xalancbmk's locking benefit, gcc's lukewarm blocks helped by
+ * associativity, milc's thrashing and bypass benefit, gems' short-lived
+ * hot pages).
+ */
+
+#ifndef SILC_TRACE_PROFILES_HH
+#define SILC_TRACE_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/generator.hh"
+
+namespace silc {
+namespace trace {
+
+/** All 14 Table III profiles, in the paper's order. */
+const std::vector<WorkloadProfile> &table3Profiles();
+
+/** Profile by benchmark name; fatal() when unknown. */
+const WorkloadProfile &findProfile(const std::string &name);
+
+/** Names of all Table III benchmarks, in order. */
+std::vector<std::string> profileNames();
+
+/** A smaller representative subset (one per class plus extremes),
+ *  used by the capacity-sweep bench to bound run time. */
+std::vector<std::string> representativeNames();
+
+} // namespace trace
+} // namespace silc
+
+#endif // SILC_TRACE_PROFILES_HH

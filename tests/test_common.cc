@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Unit tests for the common substrate: types/address math, event queue,
+ * statistics, RNG/Zipf, config parsing, and the subblock bit vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/bitvector.hh"
+#include "common/config.hh"
+#include "common/event_queue.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+using namespace silc;
+
+// ---- types / address math ----------------------------------------------
+
+TEST(Types, Constants)
+{
+    EXPECT_EQ(kSubblockSize, 64u);
+    EXPECT_EQ(kLargeBlockSize, 2048u);
+    EXPECT_EQ(kSubblocksPerBlock, 32u);
+}
+
+TEST(Types, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(2048), 11u);
+    EXPECT_EQ(floorLog2(3), 1u);
+}
+
+TEST(Types, IsPowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(96));
+}
+
+TEST(Types, Alignment)
+{
+    EXPECT_EQ(subblockAddr(0x12345), Addr(0x12340));
+    EXPECT_EQ(largeBlockAddr(0x12345), Addr(0x12000));
+    EXPECT_EQ(alignDown(127, 64), Addr(64));
+}
+
+TEST(Types, SubblockOffsetCoversBlock)
+{
+    // All 32 offsets appear exactly once per large block.
+    std::map<uint32_t, int> seen;
+    for (Addr a = 0; a < kLargeBlockSize; a += kSubblockSize)
+        seen[subblockOffset(a)]++;
+    EXPECT_EQ(seen.size(), kSubblocksPerBlock);
+    for (auto [off, count] : seen) {
+        EXPECT_LT(off, kSubblocksPerBlock);
+        EXPECT_EQ(count, 1);
+    }
+}
+
+TEST(Types, SubblockOffsetIgnoresPage)
+{
+    EXPECT_EQ(subblockOffset(5 * kLargeBlockSize + 7 * kSubblockSize),
+              7u);
+}
+
+TEST(Types, SizeLiterals)
+{
+    EXPECT_EQ(4_KiB, 4096u);
+    EXPECT_EQ(16_MiB, uint64_t(16) << 20);
+    EXPECT_EQ(1_GiB, uint64_t(1) << 30);
+}
+
+// ---- event queue --------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Tick) { order.push_back(3); });
+    q.schedule(10, [&](Tick) { order.push_back(1); });
+    q.schedule(20, [&](Tick) { order.push_back(2); });
+
+    q.runDue(15);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    q.runDue(30);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreak)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i](Tick) { order.push_back(i); });
+    q.runDue(7);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackReceivesScheduledTick)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(42, [&](Tick t) { seen = t; });
+    q.runDue(100);
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, EventScheduledDuringDrainSameTickRuns)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&](Tick t) {
+        ++fired;
+        q.schedule(t, [&](Tick) { ++fired; });
+    });
+    q.runDue(5);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NextEventTick)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventTick(), kTickNever);
+    q.schedule(9, [](Tick) {});
+    EXPECT_EQ(q.nextEventTick(), 9u);
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&](Tick) { ++fired; });
+    q.clear();
+    q.runDue(10);
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CountsExecuted)
+{
+    EventQueue q;
+    for (Tick t = 1; t <= 4; ++t)
+        q.schedule(t, [](Tick) {});
+    q.runDue(4);
+    EXPECT_EQ(q.executed(), 4u);
+}
+
+// ---- stats ---------------------------------------------------------------
+
+TEST(Stats, ScalarCounts)
+{
+    stats::Scalar s;
+    ++s;
+    s += 4;
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, AverageOfSamples)
+{
+    stats::Average a;
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.value(), 3.0);
+    EXPECT_EQ(a.samples(), 2u);
+}
+
+TEST(Stats, DistributionBuckets)
+{
+    stats::Distribution d(0.0, 10.0, 5);
+    d.sample(0.5);
+    d.sample(9.5);
+    d.sample(-1.0);
+    d.sample(11.0);
+    EXPECT_EQ(d.buckets()[0], 1u);
+    EXPECT_EQ(d.buckets()[4], 1u);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.samples(), 4u);
+    EXPECT_DOUBLE_EQ(d.value(), 5.0);
+}
+
+TEST(Stats, SetRegistersAndDumps)
+{
+    stats::StatSet set;
+    stats::Scalar a, b;
+    set.add("sim.a", a.describe("first"));
+    set.add("sim.b", b);
+    ++a;
+    EXPECT_DOUBLE_EQ(set.get("sim.a"), 1.0);
+    EXPECT_EQ(set.find("nope"), nullptr);
+
+    std::ostringstream os;
+    set.dump(os);
+    EXPECT_NE(os.str().find("sim.a"), std::string::npos);
+    EXPECT_NE(os.str().find("first"), std::string::npos);
+
+    set.resetAll();
+    EXPECT_DOUBLE_EQ(set.get("sim.a"), 0.0);
+}
+
+// ---- rng -----------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123), c(124);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BetweenInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t v = rng.between(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Zipf, AlphaZeroIsUniform)
+{
+    Rng rng(5);
+    ZipfSampler z(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 50000; ++i)
+        counts[z.sample(rng)]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(Zipf, SkewPrefersLowRanks)
+{
+    Rng rng(5);
+    ZipfSampler z(1000, 1.0);
+    uint64_t low = 0, total = 100000;
+    for (uint64_t i = 0; i < total; ++i) {
+        if (z.sample(rng) < 10)
+            ++low;
+    }
+    // With alpha=1 over 1000 items, the top-10 ranks draw ~39% of
+    // samples (H(10)/H(1000)); uniform would give 1%.
+    EXPECT_GT(low, total / 5);
+}
+
+TEST(Zipf, SamplesInRange)
+{
+    Rng rng(3);
+    ZipfSampler z(37, 0.8);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_LT(z.sample(rng), 37u);
+}
+
+// ---- config ----------------------------------------------------------------
+
+TEST(Config, ParseSizeSuffixes)
+{
+    EXPECT_EQ(parseSize("64"), 64u);
+    EXPECT_EQ(parseSize("4k"), 4096u);
+    EXPECT_EQ(parseSize("16m"), uint64_t(16) << 20);
+    EXPECT_EQ(parseSize("2g"), uint64_t(2) << 30);
+    EXPECT_EQ(parseSize("0x10"), 16u);
+}
+
+TEST(Config, TypedAccessors)
+{
+    Config cfg = Config::fromTokens(
+        {"cores=16", "rate=0.8", "flag=true", "name=mcf"});
+    EXPECT_EQ(cfg.getU64("cores", 1), 16u);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("rate", 0.0), 0.8);
+    EXPECT_TRUE(cfg.getBool("flag", false));
+    EXPECT_EQ(cfg.getString("name", ""), "mcf");
+    EXPECT_EQ(cfg.getU64("missing", 7), 7u);
+}
+
+TEST(Config, TracksUnusedKeys)
+{
+    Config cfg = Config::fromTokens({"a=1", "b=2"});
+    (void)cfg.getU64("a", 0);
+    auto unused = cfg.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(unused[0], "b");
+}
+
+TEST(Config, OverwriteKeepsSingleKey)
+{
+    Config cfg;
+    cfg.set("x", "1");
+    cfg.set("x", "2");
+    EXPECT_EQ(cfg.getU64("x", 0), 2u);
+    EXPECT_EQ(cfg.keys().size(), 1u);
+}
+
+// ---- bit vector -------------------------------------------------------------
+
+TEST(SubblockVector, StartsEmpty)
+{
+    SubblockVector bv;
+    EXPECT_TRUE(bv.none());
+    EXPECT_FALSE(bv.full());
+    EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(SubblockVector, SetTestClear)
+{
+    SubblockVector bv;
+    bv.set(0);
+    bv.set(31);
+    EXPECT_TRUE(bv.test(0));
+    EXPECT_TRUE(bv.test(31));
+    EXPECT_FALSE(bv.test(15));
+    EXPECT_EQ(bv.count(), 2u);
+    bv.clear(0);
+    EXPECT_FALSE(bv.test(0));
+    EXPECT_EQ(bv.count(), 1u);
+}
+
+TEST(SubblockVector, AllAndClearAll)
+{
+    SubblockVector bv = SubblockVector::all();
+    EXPECT_TRUE(bv.full());
+    EXPECT_EQ(bv.count(), 32u);
+    bv.clearAll();
+    EXPECT_TRUE(bv.none());
+    bv.setAll();
+    EXPECT_TRUE(bv.full());
+}
+
+TEST(SubblockVector, RawRoundTrip)
+{
+    SubblockVector bv;
+    bv.set(3);
+    bv.set(17);
+    SubblockVector copy(bv.raw());
+    EXPECT_EQ(copy, bv);
+}
+
+TEST(SubblockVector, ToStringMarksBits)
+{
+    SubblockVector bv;
+    bv.set(1);
+    std::string s = bv.toString();
+    ASSERT_EQ(s.size(), 32u);
+    EXPECT_EQ(s[0], '0');
+    EXPECT_EQ(s[1], '1');
+}
+
+// ---- logging ----------------------------------------------------------------
+
+TEST(Logging, FormatsPrintfStyle)
+{
+    EXPECT_EQ(logFormat("x=%d s=%s", 5, "hi"), "x=5 s=hi");
+}
+
+TEST(Logging, WarnIncrementsCounter)
+{
+    const uint64_t before = warnCount();
+    warn("test warning %d", 1);
+    EXPECT_EQ(warnCount(), before + 1);
+}
+
+// ---- additional property coverage ---------------------------------------------
+
+TEST(Zipf, LowerRankNeverLessPopularOnAverage)
+{
+    Rng rng(21);
+    ZipfSampler z(64, 0.9);
+    std::vector<uint64_t> counts(64, 0);
+    for (int i = 0; i < 200'000; ++i)
+        counts[z.sample(rng)]++;
+    // Compare coarse halves to avoid noise: the first half must get
+    // clearly more than the second.
+    uint64_t lo = 0, hi = 0;
+    for (int i = 0; i < 32; ++i)
+        lo += counts[i];
+    for (int i = 32; i < 64; ++i)
+        hi += counts[i];
+    EXPECT_GT(lo, 2 * hi);
+}
+
+TEST(EventQueue, InterleavedScheduleAndDrain)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    for (Tick t = 0; t < 50; ++t) {
+        q.schedule(t * 2 + 1, [&](Tick when) { fired.push_back(when); });
+        q.runDue(t * 2);
+    }
+    q.runDue(1000);
+    ASSERT_EQ(fired.size(), 50u);
+    for (size_t i = 1; i < fired.size(); ++i)
+        EXPECT_LT(fired[i - 1], fired[i]);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.runDue(100);
+    EXPECT_DEATH(q.schedule(50, [](Tick) {}), "past");
+}
+
+TEST(Stats, DuplicateNamePanics)
+{
+    stats::StatSet set;
+    stats::Scalar a, b;
+    set.add("x", a);
+    EXPECT_DEATH(set.add("x", b), "duplicate");
+}
+
+TEST(Config, MalformedTokensFatal)
+{
+    EXPECT_DEATH(Config::fromTokens({"noequals"}), "key=value");
+    Config cfg = Config::fromTokens({"x=abc"});
+    EXPECT_DEATH(cfg.getU64("x", 0), "malformed");
+}
+
+TEST(SubblockVector, IndependenceOfBits)
+{
+    SubblockVector bv;
+    for (uint32_t i = 0; i < kSubblocksPerBlock; i += 2)
+        bv.set(i);
+    for (uint32_t i = 0; i < kSubblocksPerBlock; ++i)
+        EXPECT_EQ(bv.test(i), i % 2 == 0);
+    EXPECT_EQ(bv.count(), 16u);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bypass_sweep.dir/bypass_sweep.cc.o"
+  "CMakeFiles/bypass_sweep.dir/bypass_sweep.cc.o.d"
+  "bypass_sweep"
+  "bypass_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bypass_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_comparison.dir/fig7_comparison.cc.o"
+  "CMakeFiles/fig7_comparison.dir/fig7_comparison.cc.o.d"
+  "fig7_comparison"
+  "fig7_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

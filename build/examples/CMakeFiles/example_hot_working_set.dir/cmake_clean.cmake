@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hot_working_set.dir/hot_working_set.cpp.o"
+  "CMakeFiles/example_hot_working_set.dir/hot_working_set.cpp.o.d"
+  "example_hot_working_set"
+  "example_hot_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hot_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/silcfm.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/mshr.cc" "src/CMakeFiles/silcfm.dir/cache/mshr.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/cache/mshr.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/silcfm.dir/common/config.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/common/config.cc.o.d"
+  "/root/repo/src/common/event_queue.cc" "src/CMakeFiles/silcfm.dir/common/event_queue.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/common/event_queue.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/silcfm.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/silcfm.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/activity_monitor.cc" "src/CMakeFiles/silcfm.dir/core/activity_monitor.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/core/activity_monitor.cc.o.d"
+  "/root/repo/src/core/bandwidth_balancer.cc" "src/CMakeFiles/silcfm.dir/core/bandwidth_balancer.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/core/bandwidth_balancer.cc.o.d"
+  "/root/repo/src/core/bitvector_table.cc" "src/CMakeFiles/silcfm.dir/core/bitvector_table.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/core/bitvector_table.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/CMakeFiles/silcfm.dir/core/predictor.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/core/predictor.cc.o.d"
+  "/root/repo/src/core/set_metadata.cc" "src/CMakeFiles/silcfm.dir/core/set_metadata.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/core/set_metadata.cc.o.d"
+  "/root/repo/src/core/silc_fm.cc" "src/CMakeFiles/silcfm.dir/core/silc_fm.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/core/silc_fm.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/silcfm.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/cpu/core.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/silcfm.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/controller.cc" "src/CMakeFiles/silcfm.dir/dram/controller.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/dram/controller.cc.o.d"
+  "/root/repo/src/dram/dram_system.cc" "src/CMakeFiles/silcfm.dir/dram/dram_system.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/dram/dram_system.cc.o.d"
+  "/root/repo/src/dram/energy.cc" "src/CMakeFiles/silcfm.dir/dram/energy.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/dram/energy.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/CMakeFiles/silcfm.dir/dram/timing.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/dram/timing.cc.o.d"
+  "/root/repo/src/policy/cameo.cc" "src/CMakeFiles/silcfm.dir/policy/cameo.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/policy/cameo.cc.o.d"
+  "/root/repo/src/policy/hma.cc" "src/CMakeFiles/silcfm.dir/policy/hma.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/policy/hma.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/CMakeFiles/silcfm.dir/policy/policy.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/policy/policy.cc.o.d"
+  "/root/repo/src/policy/pom.cc" "src/CMakeFiles/silcfm.dir/policy/pom.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/policy/pom.cc.o.d"
+  "/root/repo/src/policy/static_random.cc" "src/CMakeFiles/silcfm.dir/policy/static_random.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/policy/static_random.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/silcfm.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/silcfm.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/silcfm.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/sim/system.cc.o.d"
+  "/root/repo/src/sim/translation.cc" "src/CMakeFiles/silcfm.dir/sim/translation.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/sim/translation.cc.o.d"
+  "/root/repo/src/trace/file_trace.cc" "src/CMakeFiles/silcfm.dir/trace/file_trace.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/trace/file_trace.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/CMakeFiles/silcfm.dir/trace/generator.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/trace/generator.cc.o.d"
+  "/root/repo/src/trace/profiles.cc" "src/CMakeFiles/silcfm.dir/trace/profiles.cc.o" "gcc" "src/CMakeFiles/silcfm.dir/trace/profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_trace.dir/test_cpu_trace.cc.o"
+  "CMakeFiles/test_cpu_trace.dir/test_cpu_trace.cc.o.d"
+  "test_cpu_trace"
+  "test_cpu_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

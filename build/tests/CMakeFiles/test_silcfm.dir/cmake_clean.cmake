@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_silcfm.dir/test_silcfm.cc.o"
+  "CMakeFiles/test_silcfm.dir/test_silcfm.cc.o.d"
+  "test_silcfm"
+  "test_silcfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_silcfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_units.dir/test_sim_units.cc.o"
+  "CMakeFiles/test_sim_units.dir/test_sim_units.cc.o.d"
+  "test_sim_units"
+  "test_sim_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

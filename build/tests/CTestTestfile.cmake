@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;17;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dram "/root/repo/build/tests/test_dram")
+set_tests_properties(test_dram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;17;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cache "/root/repo/build/tests/test_cache")
+set_tests_properties(test_cache PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;17;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cpu_trace "/root/repo/build/tests/test_cpu_trace")
+set_tests_properties(test_cpu_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;17;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_policies "/root/repo/build/tests/test_policies")
+set_tests_properties(test_policies PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;17;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_silcfm "/root/repo/build/tests/test_silcfm")
+set_tests_properties(test_silcfm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;17;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim_units "/root/repo/build/tests/test_sim_units")
+set_tests_properties(test_sim_units PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;17;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_system "/root/repo/build/tests/test_system")
+set_tests_properties(test_system PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;17;add_test;/root/repo/tests/CMakeLists.txt;0;")

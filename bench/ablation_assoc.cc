@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
@@ -20,7 +20,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ExperimentRunner runner(opts);
+    ParallelRunner runner(opts);
 
     const std::vector<uint32_t> ways = {1, 2, 4, 8};
     const std::vector<std::string> workloads = {
@@ -33,19 +33,26 @@ main()
         columns.push_back(std::to_string(w) + "-way");
     printTableHeader("bench", columns);
 
+    std::vector<std::vector<ParallelRunner::Job>> jobs(workloads.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        runner.baseline(workloads[w]);
+        for (uint32_t ways_i : ways) {
+            SystemConfig cfg =
+                makeConfig(workloads[w], PolicyKind::SilcFm, opts);
+            cfg.silc.associativity = ways_i;
+            jobs[w].push_back(runner.submitConfig(cfg));
+        }
+    }
+
     std::vector<std::vector<double>> per_way(ways.size());
-    for (const auto &workload : workloads) {
+    for (size_t w = 0; w < workloads.size(); ++w) {
         std::vector<double> row;
         for (size_t i = 0; i < ways.size(); ++i) {
-            SystemConfig cfg =
-                makeConfig(workload, PolicyKind::SilcFm, opts);
-            cfg.silc.associativity = ways[i];
-            SimResult r = runner.runConfig(cfg);
-            const double s = runner.speedup(r);
+            const double s = runner.speedup(jobs[w][i].get());
             per_way[i].push_back(s);
             row.push_back(s);
         }
-        printTableRow(workload, row);
+        printTableRow(workloads[w], row);
         std::fflush(stdout);
     }
     printTableRule(columns.size());
@@ -55,5 +62,6 @@ main()
     printTableRow("geomean", means);
     std::printf("\n(paper adopts 4-way: most of the conflict removal "
                 "comes by 4 ways)\n");
+    runner.printFooter();
     return 0;
 }

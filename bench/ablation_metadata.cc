@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
@@ -41,7 +41,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ExperimentRunner runner(opts);
+    ParallelRunner runner(opts);
 
     const std::vector<std::string> workloads = {
         "xalanc", "gcc", "omnet", "mcf", "lbm",
@@ -53,23 +53,29 @@ main()
         columns.push_back(v.label);
     printTableHeader("bench", columns);
 
-    std::vector<std::vector<double>> per_variant(columns.size());
-    for (const auto &workload : workloads) {
-        std::vector<double> row;
-        for (size_t i = 0; i < columns.size(); ++i) {
-            const Variant &v = kVariants[i];
+    std::vector<std::vector<ParallelRunner::Job>> jobs(workloads.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        runner.baseline(workloads[w]);
+        for (const Variant &v : kVariants) {
             SystemConfig cfg =
-                makeConfig(workload, PolicyKind::SilcFm, opts);
+                makeConfig(workloads[w], PolicyKind::SilcFm, opts);
             cfg.silc.dedicated_metadata_channel = v.dedicated_channel;
             cfg.silc.enable_predictor = v.predictor;
             cfg.silc.enable_history_fetch = v.history;
             cfg.silc.model_metadata_traffic = v.model_metadata;
-            SimResult r = runner.runConfig(cfg);
-            const double s = runner.speedup(r);
+            jobs[w].push_back(runner.submitConfig(cfg));
+        }
+    }
+
+    std::vector<std::vector<double>> per_variant(columns.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        std::vector<double> row;
+        for (size_t i = 0; i < columns.size(); ++i) {
+            const double s = runner.speedup(jobs[w][i].get());
             per_variant[i].push_back(s);
             row.push_back(s);
         }
-        printTableRow(workload, row);
+        printTableRow(workloads[w], row);
         std::fflush(stdout);
     }
     printTableRule(columns.size());
@@ -81,5 +87,6 @@ main()
     std::printf("\n'ideal-md' bounds what perfect (free) metadata could "
                 "buy; 'no-pred' shows the serialization cost the "
                 "Section III-F predictor removes.\n");
+    runner.printFooter();
     return 0;
 }

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
@@ -20,7 +20,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ExperimentRunner runner(opts);
+    ParallelRunner runner(opts);
 
     const std::vector<uint32_t> thresholds = {0, 4, 8, 12, 24, 48};
     const std::vector<std::string> workloads = {
@@ -34,23 +34,30 @@ main()
         columns.push_back(t == 0 ? "off" : "t=" + std::to_string(t));
     printTableHeader("bench", columns);
 
-    std::vector<std::vector<double>> per_thresh(thresholds.size());
-    for (const auto &workload : workloads) {
-        std::vector<double> row;
-        for (size_t i = 0; i < thresholds.size(); ++i) {
+    std::vector<std::vector<ParallelRunner::Job>> jobs(workloads.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        runner.baseline(workloads[w]);
+        for (uint32_t threshold : thresholds) {
             SystemConfig cfg =
-                makeConfig(workload, PolicyKind::SilcFm, opts);
-            if (thresholds[i] == 0) {
+                makeConfig(workloads[w], PolicyKind::SilcFm, opts);
+            if (threshold == 0) {
                 cfg.silc.enable_locking = false;
             } else {
-                cfg.silc.hot_threshold = thresholds[i];
+                cfg.silc.hot_threshold = threshold;
             }
-            SimResult r = runner.runConfig(cfg);
-            const double s = runner.speedup(r);
+            jobs[w].push_back(runner.submitConfig(cfg));
+        }
+    }
+
+    std::vector<std::vector<double>> per_thresh(thresholds.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        std::vector<double> row;
+        for (size_t i = 0; i < thresholds.size(); ++i) {
+            const double s = runner.speedup(jobs[w][i].get());
             per_thresh[i].push_back(s);
             row.push_back(s);
         }
-        printTableRow(workload, row);
+        printTableRow(workloads[w], row);
         std::fflush(stdout);
     }
     printTableRule(columns.size());
@@ -60,5 +67,6 @@ main()
     printTableRow("geomean", means);
     std::printf("\n(paper: threshold 50 at 1M-access aging; this "
                 "system's default is the proportional equivalent)\n");
+    runner.printFooter();
     return 0;
 }

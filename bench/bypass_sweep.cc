@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 using namespace silc;
 using namespace silc::sim;
@@ -18,7 +18,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ExperimentRunner runner(opts);
+    ParallelRunner runner(opts);
     const std::string workload = "milc";   // the paper's bypass example
 
     std::printf("=== Bypass target sweep on %s "
@@ -37,13 +37,20 @@ main()
         {0.90, true}, {0.99, true}, {1.00, false},   // disabled = "1.0"
     };
 
-    double best_speedup = 0.0;
-    double best_target = 0.0;
+    runner.baseline(workload);
+    std::vector<ParallelRunner::Job> jobs;
     for (const Point &pt : points) {
         SystemConfig cfg = makeConfig(workload, PolicyKind::SilcFm, opts);
         cfg.silc.enable_bypass = pt.enabled;
         cfg.silc.bypass_target = pt.target;
-        SimResult r = runner.runConfig(cfg);
+        jobs.push_back(runner.submitConfig(cfg));
+    }
+
+    double best_speedup = 0.0;
+    double best_target = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        const Point &pt = points[i];
+        SimResult r = jobs[i].get();
         const double s = runner.speedup(r);
         if (s > best_speedup) {
             best_speedup = s;
@@ -57,5 +64,6 @@ main()
 
     std::printf("\nbest target: %.2f (speedup %.3f)\n", best_target,
                 best_speedup);
+    runner.printFooter();
     return 0;
 }

@@ -12,7 +12,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
@@ -22,19 +22,34 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ExperimentRunner runner(opts);
+    ParallelRunner runner(opts);
 
     std::printf("=== Energy / EDP: SILC-FM vs CAMEO ===\n\n");
     std::printf("%-10s | %10s %12s | %10s %12s | %8s\n", "bench",
                 "cam mJ", "cam EDP", "silc mJ", "silc EDP",
                 "EDP ratio");
 
+    struct Row
+    {
+        ParallelRunner::Job cam, silc, base;
+    };
+    const std::vector<std::string> workloads = trace::profileNames();
+    std::vector<Row> jobs;
+    for (const auto &workload : workloads) {
+        jobs.push_back(Row{
+            runner.submit(workload, PolicyKind::Cameo),
+            runner.submit(workload, PolicyKind::SilcFm),
+            runner.submit(workload, PolicyKind::FmOnly),
+        });
+    }
+
     std::vector<double> ratios;
     std::vector<double> silc_vs_base;
-    for (const auto &workload : trace::profileNames()) {
-        SimResult cam = runner.run(workload, PolicyKind::Cameo);
-        SimResult silc_r = runner.run(workload, PolicyKind::SilcFm);
-        SimResult base = runner.run(workload, PolicyKind::FmOnly);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const std::string &workload = workloads[w];
+        SimResult cam = jobs[w].cam.get();
+        SimResult silc_r = jobs[w].silc.get();
+        SimResult base = jobs[w].base.get();
         const double ratio = silc_r.edp / cam.edp;
         ratios.push_back(ratio);
         silc_vs_base.push_back(silc_r.edp / base.edp);
@@ -49,5 +64,6 @@ main()
                 "(paper: 0.87, i.e. 13%% EDP savings)\n", mean_ratio);
     std::printf("geomean EDP(SILC-FM)/EDP(no-NM)  = %.3f\n",
                 geomean(silc_vs_base));
+    runner.printFooter();
     return 0;
 }

@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
@@ -43,7 +43,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ExperimentRunner runner(opts);
+    ParallelRunner runner(opts);
 
     std::printf("=== Figure 6: SILC-FM breakdown "
                 "(speedup over no-NM baseline) ===\n\n");
@@ -52,25 +52,30 @@ main()
         columns.push_back(v.label);
     printTableHeader("bench", columns);
 
-    std::vector<std::vector<double>> per_col(columns.size());
-    for (const auto &workload : trace::profileNames()) {
-        std::vector<double> row;
-        {
-            SimResult r = runner.run(workload, PolicyKind::Random);
-            row.push_back(runner.speedup(r));
-        }
+    const std::vector<std::string> workloads = trace::profileNames();
+    std::vector<std::vector<ParallelRunner::Job>> jobs(workloads.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        runner.baseline(workloads[w]);
+        jobs[w].push_back(runner.submit(workloads[w],
+                                        PolicyKind::Random));
         for (const Variant &v : kVariants) {
             SystemConfig cfg =
-                makeConfig(workload, PolicyKind::SilcFm, opts);
+                makeConfig(workloads[w], PolicyKind::SilcFm, opts);
             cfg.silc.associativity = v.assoc;
             cfg.silc.enable_locking = v.locking;
             cfg.silc.enable_bypass = v.bypass;
-            SimResult r = runner.runConfig(cfg);
-            row.push_back(runner.speedup(r));
+            jobs[w].push_back(runner.submitConfig(cfg));
         }
+    }
+
+    std::vector<std::vector<double>> per_col(columns.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        std::vector<double> row;
+        for (const auto &job : jobs[w])
+            row.push_back(runner.speedup(job.get()));
         for (size_t i = 0; i < row.size(); ++i)
             per_col[i].push_back(row[i]);
-        printTableRow(workload, row);
+        printTableRow(workloads[w], row);
         std::fflush(stdout);
     }
 
@@ -88,5 +93,6 @@ main()
                 100.0 * (means[4] / means[3] - 1.0));
     std::printf("(paper: +55%% swap over static, +11%% lock, +8%% "
                 "assoc, +8%% bypass)\n");
+    runner.printFooter();
     return 0;
 }

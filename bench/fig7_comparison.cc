@@ -9,13 +9,14 @@
  * beats Random but reacts slowly (gems degrades); PoM pays 2KB
  * migration bandwidth.
  *
- * Scale with SILC_CORES / SILC_INSTR / SILC_NM_MIB / SILC_FM_MIB.
+ * Scale with SILC_CORES / SILC_INSTR / SILC_NM_MIB / SILC_FM_MIB;
+ * SILC_THREADS controls the simulation fan-out.
  */
 
 #include <cstdio>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
@@ -25,7 +26,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ExperimentRunner runner(opts);
+    ParallelRunner runner(opts);
 
     const std::vector<PolicyKind> kinds = {
         PolicyKind::Random, PolicyKind::Hma,  PolicyKind::Cameo,
@@ -33,28 +34,38 @@ main()
     };
 
     std::printf("=== Figure 7: speedup over no-NM baseline ===\n");
-    std::printf("(cores=%u, instr/core=%llu, NM=%lluMiB, FM=%lluMiB)\n\n",
-                opts.cores,
-                static_cast<unsigned long long>(
-                    opts.instructions_per_core),
-                static_cast<unsigned long long>(opts.nm_bytes >> 20),
-                static_cast<unsigned long long>(opts.fm_bytes >> 20));
+    std::printf("(cores=%u, instr/core=%s, NM=%sMiB, FM=%sMiB)\n\n",
+                opts.cores, u64str(opts.instructions_per_core).c_str(),
+                u64str(opts.nm_bytes >> 20).c_str(),
+                u64str(opts.fm_bytes >> 20).c_str());
 
     std::vector<std::string> columns;
     for (PolicyKind k : kinds)
         columns.push_back(policyKindName(k));
     printTableHeader("bench", columns);
 
+    // Fan everything out first: each workload's baseline denominator,
+    // then every (workload, scheme) pair.
+    const std::vector<std::string> workloads = trace::profileNames();
+    std::vector<std::vector<ParallelRunner::Job>> jobs(workloads.size());
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        runner.baseline(workloads[w]);
+        for (PolicyKind kind : kinds)
+            jobs[w].push_back(runner.submit(workloads[w], kind));
+    }
+
+    // Collect in submission order so the table is byte-identical to a
+    // sequential run regardless of thread count.
     std::vector<std::vector<double>> per_scheme(kinds.size());
-    for (const auto &workload : trace::profileNames()) {
+    for (size_t w = 0; w < workloads.size(); ++w) {
         std::vector<double> row;
         for (size_t i = 0; i < kinds.size(); ++i) {
-            SimResult r = runner.run(workload, kinds[i]);
+            const SimResult r = jobs[w][i].get();
             const double s = runner.speedup(r);
             per_scheme[i].push_back(s);
             row.push_back(s);
         }
-        printTableRow(workload, row);
+        printTableRow(workloads[w], row);
         std::fflush(stdout);
     }
 
@@ -76,5 +87,6 @@ main()
     std::printf("\nSILC-FM vs best alternative (%s): %+.1f%% "
                 "(paper: +36%% over the state of the art)\n",
                 best_name.c_str(), 100.0 * (silc / best_other - 1.0));
+    runner.printFooter();
     return 0;
 }

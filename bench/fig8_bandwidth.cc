@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
@@ -23,7 +23,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ExperimentRunner runner(opts);
+    ParallelRunner runner(opts);
 
     const std::vector<PolicyKind> kinds = {
         PolicyKind::Random, PolicyKind::Hma,  PolicyKind::Cameo,
@@ -37,16 +37,21 @@ main()
         columns.push_back(policyKindName(k));
     printTableHeader("bench", columns);
 
+    const std::vector<std::string> workloads = trace::profileNames();
+    std::vector<std::vector<ParallelRunner::Job>> jobs(workloads.size());
+    for (size_t w = 0; w < workloads.size(); ++w)
+        for (PolicyKind kind : kinds)
+            jobs[w].push_back(runner.submit(workloads[w], kind));
+
     std::vector<std::vector<double>> per_scheme(kinds.size());
-    for (const auto &workload : trace::profileNames()) {
+    for (size_t w = 0; w < workloads.size(); ++w) {
         std::vector<double> row;
         for (size_t i = 0; i < kinds.size(); ++i) {
-            SimResult r = runner.run(workload, kinds[i]);
-            const double f = r.nmDemandFraction();
+            const double f = jobs[w][i].get().nmDemandFraction();
             per_scheme[i].push_back(f);
             row.push_back(f);
         }
-        printTableRow(workload, row);
+        printTableRow(workloads[w], row);
         std::fflush(stdout);
     }
 
@@ -61,5 +66,6 @@ main()
     printTableRow("average", means);
     std::printf("\nSILC-FM average NM share: %.2f (paper: 0.76, "
                 "4%% below the 0.80 ideal)\n", means.back());
+    runner.printFooter();
     return 0;
 }

@@ -14,7 +14,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
@@ -24,7 +24,7 @@ int
 main()
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ExperimentRunner runner(opts);
+    ParallelRunner runner(opts);
 
     const std::vector<PolicyKind> kinds = {
         PolicyKind::Hma,
@@ -35,28 +35,45 @@ main()
     const std::vector<uint64_t> dividers = {16, 8, 4};
 
     std::printf("=== Figure 9: speedup vs NM:FM capacity ratio "
-                "(FM fixed at %llu MiB) ===\n\n",
-                static_cast<unsigned long long>(opts.fm_bytes >> 20));
+                "(FM fixed at %s MiB) ===\n\n",
+                u64str(opts.fm_bytes >> 20).c_str());
 
-    for (PolicyKind kind : kinds) {
-        std::printf("--- %s ---\n", policyKindName(kind));
+    // The whole (scheme, workload, ratio) grid shares one pool; the
+    // baselines are per-workload, independent of scheme and NM size.
+    const std::vector<std::string> workloads =
+        trace::representativeNames();
+    for (const auto &workload : workloads)
+        runner.baseline(workload);
+    std::vector<std::vector<std::vector<ParallelRunner::Job>>> jobs(
+        kinds.size());
+    for (size_t k = 0; k < kinds.size(); ++k) {
+        jobs[k].resize(workloads.size());
+        for (size_t w = 0; w < workloads.size(); ++w) {
+            for (uint64_t d : dividers) {
+                SystemConfig cfg = makeConfig(workloads[w], kinds[k],
+                                              opts);
+                cfg.nm_bytes = opts.fm_bytes / d;
+                jobs[k][w].push_back(runner.submitConfig(cfg));
+            }
+        }
+    }
+
+    for (size_t k = 0; k < kinds.size(); ++k) {
+        std::printf("--- %s ---\n", policyKindName(kinds[k]));
         std::vector<std::string> columns;
         for (uint64_t d : dividers)
             columns.push_back("1/" + std::to_string(d));
         printTableHeader("bench", columns);
 
         std::vector<std::vector<double>> per_ratio(dividers.size());
-        for (const auto &workload : trace::representativeNames()) {
+        for (size_t w = 0; w < workloads.size(); ++w) {
             std::vector<double> row;
             for (size_t i = 0; i < dividers.size(); ++i) {
-                SystemConfig cfg = makeConfig(workload, kind, opts);
-                cfg.nm_bytes = opts.fm_bytes / dividers[i];
-                SimResult r = runner.runConfig(cfg);
-                const double s = runner.speedup(r);
+                const double s = runner.speedup(jobs[k][w][i].get());
                 per_ratio[i].push_back(s);
                 row.push_back(s);
             }
-            printTableRow(workload, row);
+            printTableRow(workloads[w], row);
             std::fflush(stdout);
         }
         printTableRule(columns.size());
@@ -69,5 +86,6 @@ main()
 
     std::printf("(paper: SILC-FM 1.83 -> 2.04 from 1/16 to 1/4; best "
                 "alternative only 1.47 -> 1.65)\n");
+    runner.printFooter();
     return 0;
 }

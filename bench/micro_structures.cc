@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "common/event_queue.hh"
 #include "common/rng.hh"
 #include "core/bitvector_table.hh"
@@ -130,6 +132,84 @@ BM_SilcDemandAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SilcDemandAccess);
+
+namespace {
+
+/**
+ * The shape of the simulator's hottest event: a completion lambda
+ * capturing a DemandCallback (a 32-byte std::function on libstdc++)
+ * plus a word of context — too big for std::function's inline buffer,
+ * comfortably inside EventCallback's 64-byte one.
+ */
+struct EventPayload
+{
+    std::function<void(Tick)> done;
+    Tick context;
+};
+
+} // namespace
+
+/**
+ * schedule/runDue throughput with the capture held directly in the
+ * EventCallback (the post-SmallFunction hot path).  Counter
+ * "events/sec" is the figure the EventQueue optimisation targets;
+ * compare against BM_EventScheduleStdFunction below for the before.
+ */
+static void
+BM_EventScheduleInline(benchmark::State &state)
+{
+    EventQueue q;
+    uint64_t sink = 0;
+    std::function<void(Tick)> done = [&sink](Tick t) { sink += t; };
+    Tick now = 0;
+    for (auto _ : state) {
+        (void)_;
+        for (int i = 0; i < 64; ++i) {
+            EventPayload payload{done, now};
+            q.scheduleIn(now, 1 + (i & 3),
+                         [payload = std::move(payload)](Tick t) mutable {
+                             payload.done(t + payload.context);
+                         });
+        }
+        now += 4;
+        q.runDue(now);
+    }
+    benchmark::DoNotOptimize(sink);
+    state.counters["events/sec"] = benchmark::Counter(
+        static_cast<double>(q.executed()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventScheduleInline);
+
+/**
+ * The pre-optimisation behavior: every callback funnelled through a
+ * std::function first, so each schedule() heap-allocates the oversized
+ * capture exactly as the old std::function-based EventCallback did.
+ */
+static void
+BM_EventScheduleStdFunction(benchmark::State &state)
+{
+    EventQueue q;
+    uint64_t sink = 0;
+    std::function<void(Tick)> done = [&sink](Tick t) { sink += t; };
+    Tick now = 0;
+    for (auto _ : state) {
+        (void)_;
+        for (int i = 0; i < 64; ++i) {
+            EventPayload payload{done, now};
+            std::function<void(Tick)> boxed =
+                [payload = std::move(payload)](Tick t) mutable {
+                    payload.done(t + payload.context);
+                };
+            q.scheduleIn(now, 1 + (i & 3), std::move(boxed));
+        }
+        now += 4;
+        q.runDue(now);
+    }
+    benchmark::DoNotOptimize(sink);
+    state.counters["events/sec"] = benchmark::Counter(
+        static_cast<double>(q.executed()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventScheduleStdFunction);
 
 static void
 BM_DramDecode(benchmark::State &state)

@@ -5,6 +5,8 @@
  * scaling substitution (see DESIGN.md).
  */
 
+#include <cinttypes>
+#include <cstdarg>
 #include <cstdio>
 
 #include "sim/experiment.hh"
@@ -51,18 +53,18 @@ main()
 
     std::printf("\nCaches\n");
     row("L1 I (private)",
-        fmt("%lluKB, %u-way, %u cycles",
-            (unsigned long long)cfg.l1i.size_bytes >> 10,
+        fmt("%" PRIu64 "KB, %u-way, %u cycles",
+            cfg.l1i.size_bytes >> 10,
             cfg.l1i.associativity, cfg.l1i.latency_cycles),
         "64KB, 2-way, 4 cycles");
     row("L1 D (private)",
-        fmt("%lluKB, %u-way, %u cycles",
-            (unsigned long long)cfg.l1d.size_bytes >> 10,
+        fmt("%" PRIu64 "KB, %u-way, %u cycles",
+            cfg.l1d.size_bytes >> 10,
             cfg.l1d.associativity, cfg.l1d.latency_cycles),
         "16KB, 4-way, 4 cycles");
     row("L2 (shared)",
-        fmt("%lluKB, %u-way, %u cycles",
-            (unsigned long long)cfg.l2.size_bytes >> 10,
+        fmt("%" PRIu64 "KB, %u-way, %u cycles",
+            cfg.l2.size_bytes >> 10,
             cfg.l2.associativity, cfg.l2.latency_cycles),
         "8MB, 16-way, 11 cycles (scaled with footprints)");
 
@@ -76,15 +78,14 @@ main()
     row("channels", fmt("%u", cfg.nm_timing.channels), "8");
     row("banks/rank", fmt("%u", cfg.nm_timing.banks_per_rank), "8");
     row("row buffer",
-        fmt("%lluKB open-page",
-            (unsigned long long)cfg.nm_timing.row_buffer_bytes >> 10),
+        fmt("%" PRIu64 "KB open-page",
+            cfg.nm_timing.row_buffer_bytes >> 10),
         "8KB open-page");
     row("tCAS-tRCD-tRP-tRAS",
         fmt("%u-%u-%u-%u", cfg.nm_timing.t_cas, cfg.nm_timing.t_rcd,
             cfg.nm_timing.t_rp, cfg.nm_timing.t_ras),
         "JEDEC 235A derived");
-    row("capacity", fmt("%llu MiB",
-                        (unsigned long long)cfg.nm_bytes >> 20),
+    row("capacity", fmt("%" PRIu64 " MiB", cfg.nm_bytes >> 20),
         "FM:NM = 4:1 (same ratio)");
 
     std::printf("\nFM (DDR3)\n");
@@ -101,26 +102,22 @@ main()
         fmt("%u read + %u write", cfg.fm_timing.queue_depth,
             cfg.fm_timing.queue_depth),
         "32-entry read and write");
-    row("capacity", fmt("%llu MiB",
-                        (unsigned long long)cfg.fm_bytes >> 20),
+    row("capacity", fmt("%" PRIu64 " MiB", cfg.fm_bytes >> 20),
         "multi-GB (scaled 1/1000; ratios preserved)");
 
     std::printf("\nSILC-FM\n");
     row("associativity", fmt("%u-way", cfg.silc.associativity),
         "4-way");
     row("hot threshold",
-        fmt("%u (aging every %llu accesses)", cfg.silc.hot_threshold,
-            (unsigned long long)cfg.silc.aging_interval),
+        fmt("%u (aging every %" PRIu64 " accesses)",
+            cfg.silc.hot_threshold, cfg.silc.aging_interval),
         "50 (aging every 1M accesses; scaled together)");
     row("bypass target", fmt("%.2f", cfg.silc.bypass_target),
         "0.8 access rate");
-    row("predictor", fmt("%llu entries",
-                         (unsigned long long)
-                             cfg.silc.predictor_entries),
+    row("predictor", fmt("%" PRIu64 " entries", cfg.silc.predictor_entries),
         "4K entries, 1 cycle");
     row("history table",
-        fmt("%llu entries",
-            (unsigned long long)cfg.silc.history_entries),
+        fmt("%" PRIu64 " entries", cfg.silc.history_entries),
         "1M entries");
 
     const double ratio = dram::DramTimingParams(cfg.nm_timing)

@@ -12,16 +12,23 @@
 #define SILC_COMMON_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/small_function.hh"
 #include "common/types.hh"
 
 namespace silc {
 
-/** Callback invoked when an event fires; receives the firing tick. */
-using EventCallback = std::function<void(Tick)>;
+/**
+ * Callback invoked when an event fires; receives the firing tick.
+ *
+ * A SmallFunction rather than std::function: completion lambdas capture
+ * a DemandCallback plus a few words of context, which overflows
+ * std::function's tiny inline buffer and would heap-allocate on every
+ * schedule() — the hottest allocation site in the simulator (see
+ * BM_EventSchedule* in bench/micro_structures.cc).
+ */
+using EventCallback = SmallFunction<void(Tick), 64>;
 
 /**
  * Min-heap of timed callbacks with FIFO tie-breaking.
@@ -94,7 +101,11 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    // An explicit vector heap (std::push_heap/pop_heap) instead of
+    // std::priority_queue: the storage can be reserved up front and its
+    // capacity survives clear(), and popped entries move out cleanly
+    // without the const_cast that priority_queue::top() forces.
+    std::vector<Entry> heap_;
     uint64_t next_seq_ = 0;
     uint64_t executed_ = 0;
     Tick last_run_tick_ = 0;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace silc {
@@ -9,6 +10,11 @@ namespace silc {
 namespace {
 
 std::atomic<uint64_t> warn_counter{0};
+
+/** Serialises writes to the sinks; parallel runs share stderr. */
+std::mutex sink_mutex;
+
+thread_local std::string thread_tag;
 
 const char *
 levelName(LogLevel level)
@@ -54,13 +60,31 @@ logEmit(LogLevel level, const std::string &msg)
     if (level == LogLevel::Warn)
         warn_counter.fetch_add(1, std::memory_order_relaxed);
     std::FILE *sink = (level == LogLevel::Inform) ? stdout : stderr;
-    std::fprintf(sink, "%s: %s\n", levelName(level), msg.c_str());
+    std::lock_guard<std::mutex> lock(sink_mutex);
+    if (thread_tag.empty()) {
+        std::fprintf(sink, "%s: %s\n", levelName(level), msg.c_str());
+    } else {
+        std::fprintf(sink, "%s: [%s] %s\n", levelName(level),
+                     thread_tag.c_str(), msg.c_str());
+    }
 }
 
 uint64_t
 warnCount()
 {
     return warn_counter.load(std::memory_order_relaxed);
+}
+
+void
+logSetThreadTag(std::string tag)
+{
+    thread_tag = std::move(tag);
+}
+
+const std::string &
+logThreadTag()
+{
+    return thread_tag;
 }
 
 void

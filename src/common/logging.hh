@@ -30,11 +30,24 @@ std::string logFormat(const char *fmt, ...);
 /** printf-style va_list variant of logFormat. */
 std::string logFormatV(const char *fmt, va_list args);
 
-/** Emit @p msg at @p level without terminating. */
+/**
+ * Emit @p msg at @p level without terminating.  Thread-safe: the sink is
+ * mutex-guarded so messages from concurrent simulation runs never
+ * interleave mid-line.
+ */
 void logEmit(LogLevel level, const std::string &msg);
 
 /** Number of warnings emitted so far (useful in tests). */
 uint64_t warnCount();
+
+/**
+ * Attach a tag (e.g. "mcf/silcfm") to every message this thread emits,
+ * so output from parallel runs is attributable.  Empty clears the tag.
+ */
+void logSetThreadTag(std::string tag);
+
+/** The calling thread's current log tag ("" when unset). */
+const std::string &logThreadTag();
 
 /** Internal invariant violated: print and abort(). */
 [[noreturn]] void panic(const char *fmt, ...);

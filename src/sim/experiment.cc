@@ -101,6 +101,12 @@ ExperimentRunner::speedup(const SimResult &result)
     return static_cast<double>(base) / static_cast<double>(result.ticks);
 }
 
+std::string
+u64str(uint64_t v)
+{
+    return std::to_string(v);
+}
+
 void
 printTableHeader(const std::string &label,
                  const std::vector<std::string> &columns)

@@ -6,11 +6,16 @@
  * provides table formatting helpers.
  *
  * Scale knobs (environment variables, all optional):
- *   SILC_CORES  - cores per run          (default 8)
- *   SILC_INSTR  - instructions per core  (default 300000)
- *   SILC_NM_MIB - NM capacity in MiB     (default 16)
- *   SILC_FM_MIB - FM capacity in MiB     (default 64)
- *   SILC_SEED   - RNG seed               (default 1)
+ *   SILC_CORES   - cores per run          (default 8)
+ *   SILC_INSTR   - instructions per core  (default 300000)
+ *   SILC_NM_MIB  - NM capacity in MiB     (default 16)
+ *   SILC_FM_MIB  - FM capacity in MiB     (default 64)
+ *   SILC_SEED    - RNG seed               (default 1)
+ *   SILC_THREADS - simulation worker threads used by the benches'
+ *                  ParallelRunner (sim/parallel.hh); default is
+ *                  hardware_concurrency, 1 runs everything
+ *                  sequentially.  Tables are byte-identical across
+ *                  thread counts.
  */
 
 #ifndef SILC_SIM_EXPERIMENT_HH
@@ -73,6 +78,14 @@ class ExperimentRunner
 };
 
 // ---- Small table-printing helpers shared by the benches. ----
+
+/**
+ * Decimal rendering of a 64-bit counter for printf("%s") use.  Replaces
+ * the non-portable "%llu" + static_cast<unsigned long long> pattern the
+ * benches used to repeat (uint64_t is not unsigned long long on every
+ * LP64 platform).
+ */
+std::string u64str(uint64_t v);
 
 /** Print a header row: left label column plus one column per entry. */
 void printTableHeader(const std::string &label,

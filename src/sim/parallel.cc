@@ -1,0 +1,201 @@
+#include "sim/parallel.hh"
+
+#include <cinttypes>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace sim {
+
+unsigned
+parallelThreadsFromEnv()
+{
+    if (const char *v = std::getenv("SILC_THREADS")) {
+        const long n = std::strtol(v, nullptr, 10);
+        if (n < 1)
+            fatal("SILC_THREADS must be a positive integer, got '%s'", v);
+        return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads == 0 ? parallelThreadsFromEnv() : threads;
+    queues_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    const size_t idx =
+        next_queue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[idx]->mutex);
+        queues_[idx]->tasks.push_back(std::move(task));
+    }
+    {
+        // Bump pending_ under the wake mutex: otherwise the increment
+        // could slip between a worker's predicate check and its sleep,
+        // losing the wakeup for good.
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        pending_.fetch_add(1, std::memory_order_release);
+    }
+    wake_cv_.notify_one();
+}
+
+bool
+ThreadPool::tryPop(size_t self, std::function<void()> &out)
+{
+    // Own queue first (front: FIFO for the local stream of work) ...
+    {
+        std::lock_guard<std::mutex> lock(queues_[self]->mutex);
+        if (!queues_[self]->tasks.empty()) {
+            out = std::move(queues_[self]->tasks.front());
+            queues_[self]->tasks.pop_front();
+            return true;
+        }
+    }
+    // ... then steal from siblings (back: avoids contending with the
+    // owner's front end).
+    for (size_t k = 1; k < queues_.size(); ++k) {
+        WorkerQueue &victim = *queues_[(self + k) % queues_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    while (true) {
+        std::function<void()> task;
+        if (tryPop(self, task)) {
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        if (stop_ && pending_.load(std::memory_order_acquire) == 0)
+            return;
+        wake_cv_.wait(lock, [this] {
+            return stop_ || pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_ && pending_.load(std::memory_order_acquire) == 0)
+            return;
+    }
+}
+
+ParallelRunner::ParallelRunner(ExperimentOptions opts, unsigned threads)
+    : opts_(opts), start_(std::chrono::steady_clock::now()),
+      pool_(threads)
+{
+}
+
+ParallelRunner::Job
+ParallelRunner::submitJob(SystemConfig cfg, bool is_baseline)
+{
+    auto task = std::make_shared<std::packaged_task<SimResult()>>(
+        [this, cfg = std::move(cfg), is_baseline] {
+            logSetThreadTag(cfg.workload + "/" +
+                            policyKindName(cfg.policy));
+            System system(cfg);
+            SimResult result = system.run();
+            logSetThreadTag("");
+            if (is_baseline)
+                baseline_runs_.fetch_add(1, std::memory_order_relaxed);
+            jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+            return result;
+        });
+    Job job = task->get_future().share();
+    pool_.submit([task] { (*task)(); });
+    return job;
+}
+
+ParallelRunner::Job
+ParallelRunner::submit(const std::string &workload, PolicyKind kind)
+{
+    if (kind == PolicyKind::FmOnly)
+        return baseline(workload);
+    return submitJob(makeConfig(workload, kind, opts_), false);
+}
+
+ParallelRunner::Job
+ParallelRunner::submitConfig(SystemConfig cfg)
+{
+    return submitJob(std::move(cfg), false);
+}
+
+ParallelRunner::Job
+ParallelRunner::baseline(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(baseline_mutex_);
+    auto it = baselines_.find(workload);
+    if (it != baselines_.end())
+        return it->second;
+    Job job = submitJob(makeConfig(workload, PolicyKind::FmOnly, opts_),
+                        true);
+    baselines_.emplace(workload, job);
+    return job;
+}
+
+Tick
+ParallelRunner::baselineTicks(const std::string &workload)
+{
+    return baseline(workload).get().ticks;
+}
+
+double
+ParallelRunner::speedup(const SimResult &result)
+{
+    const Tick base = baselineTicks(result.workload);
+    return static_cast<double>(base) / static_cast<double>(result.ticks);
+}
+
+double
+ParallelRunner::elapsedSeconds() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+}
+
+void
+ParallelRunner::printFooter(std::FILE *out) const
+{
+    const double secs = elapsedSeconds();
+    const uint64_t jobs = jobsCompleted();
+    std::fprintf(out,
+                 "[parallel] %" PRIu64 " jobs in %.2fs (%.1f jobs/sec, "
+                 "%u threads)\n",
+                 jobs, secs,
+                 secs > 0.0 ? static_cast<double>(jobs) / secs : 0.0,
+                 threads());
+}
+
+} // namespace sim
+} // namespace silc

@@ -1,5 +1,7 @@
 #include "sim/system.hh"
 
+#include <cinttypes>
+
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "policy/static_random.hh"
@@ -321,9 +323,8 @@ System::run()
         r.ticks = 1;
 
     if (!all_done) {
-        warn("run %s/%s hit the tick limit (%llu)", r.scheme.c_str(),
-             r.workload.c_str(),
-             static_cast<unsigned long long>(cfg_.max_ticks));
+        warn("run %s/%s hit the tick limit (%" PRIu64 ")",
+             r.scheme.c_str(), r.workload.c_str(), cfg_.max_ticks);
     }
 
     r.ipc = static_cast<double>(r.instructions) /

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -153,6 +154,71 @@ TEST(EventQueue, CountsExecuted)
         q.schedule(t, [](Tick) {});
     q.runDue(4);
     EXPECT_EQ(q.executed(), 4u);
+}
+
+// ---- small function ------------------------------------------------------
+
+TEST(SmallFunction, InvokesAndReportsInlineStorage)
+{
+    int hits = 0;
+    SmallFunction<void(Tick), 64> fn = [&hits](Tick t) {
+        hits += static_cast<int>(t);
+    };
+    ASSERT_TRUE(static_cast<bool>(fn));
+    EXPECT_TRUE(fn.storedInline());
+    fn(3);
+    fn(4);
+    EXPECT_EQ(hits, 7);
+}
+
+TEST(SmallFunction, EmptyIsFalse)
+{
+    SmallFunction<void(Tick), 64> fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    SmallFunction<void(Tick), 64> null_fn = nullptr;
+    EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(SmallFunction, OversizedCaptureFallsBackToHeap)
+{
+    struct Big
+    {
+        uint64_t words[16];  // 128 bytes > the 64-byte buffer
+    };
+    Big big{};
+    big.words[15] = 42;
+    uint64_t seen = 0;
+    SmallFunction<void(Tick), 64> fn = [big, &seen](Tick) {
+        seen = big.words[15];
+    };
+    EXPECT_FALSE(fn.storedInline());
+    fn(0);
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(SmallFunction, MoveTransfersOwnership)
+{
+    auto counter = std::make_shared<int>(0);
+    SmallFunction<void(Tick), 64> a = [counter](Tick) { ++*counter; };
+    SmallFunction<void(Tick), 64> b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));
+    ASSERT_TRUE(static_cast<bool>(b));
+    b(0);
+    EXPECT_EQ(*counter, 1);
+
+    // Destroying the callable releases its captures.
+    b = nullptr;
+    EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(SmallFunction, HoldsMoveOnlyCallable)
+{
+    auto owned = std::make_unique<int>(9);
+    SmallFunction<int(Tick), 64> fn =
+        [owned = std::move(owned)](Tick t) {
+            return *owned + static_cast<int>(t);
+        };
+    EXPECT_EQ(fn(1), 10);
 }
 
 // ---- stats ---------------------------------------------------------------

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The parallel experiment layer: ThreadPool execution and stealing,
+ * SILC_THREADS parsing, and — the properties the bench tables depend
+ * on — bit-identical results between sequential and parallel runs and
+ * a baseline cache that computes each workload's no-NM denominator
+ * exactly once no matter how many threads request it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/parallel.hh"
+
+using namespace silc;
+using namespace silc::sim;
+
+namespace {
+
+/** Tiny but non-trivial scale so a full grid stays fast. */
+ExperimentOptions
+tinyOptions()
+{
+    ExperimentOptions opts;
+    opts.cores = 2;
+    opts.instructions_per_core = 20'000;
+    return opts;
+}
+
+} // namespace
+
+TEST(ThreadPoolTest, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    // Destruction drains the queues before joining.
+    {
+        ThreadPool inner(2);
+        for (int i = 0; i < 100; ++i)
+            inner.submit([&count] { ++count; });
+    }
+    while (count.load() < 200)
+        std::this_thread::yield();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, IdleWorkersStealQueuedWork)
+{
+    // One queue receives a long task followed by short ones (round-robin
+    // over a 2-worker pool lands every even submission on worker 0); the
+    // other worker must steal the short tasks for them to finish while
+    // the long task still blocks its home queue.
+    ThreadPool pool(2);
+    std::atomic<bool> release{false};
+    std::atomic<int> shorts{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&] {
+            if (!release.load()) {
+                // First task to run becomes the blocker.
+                bool expected = false;
+                if (release.compare_exchange_strong(expected, true)) {
+                    while (shorts.load() < 7)
+                        std::this_thread::yield();
+                    return;
+                }
+            }
+            ++shorts;
+        });
+    }
+    while (shorts.load() < 7)
+        std::this_thread::yield();
+    EXPECT_EQ(shorts.load(), 7);
+}
+
+TEST(ParallelThreadsTest, EnvKnobParsing)
+{
+    ASSERT_EQ(setenv("SILC_THREADS", "3", 1), 0);
+    EXPECT_EQ(parallelThreadsFromEnv(), 3u);
+    ASSERT_EQ(setenv("SILC_THREADS", "1", 1), 0);
+    EXPECT_EQ(parallelThreadsFromEnv(), 1u);
+    ASSERT_EQ(unsetenv("SILC_THREADS"), 0);
+    EXPECT_GE(parallelThreadsFromEnv(), 1u);
+}
+
+TEST(ParallelRunnerTest, BitIdenticalToSequentialRunner)
+{
+    const ExperimentOptions opts = tinyOptions();
+    const std::vector<std::string> workloads = {"mcf", "milc", "lbm"};
+    const std::vector<PolicyKind> kinds = {PolicyKind::SilcFm,
+                                           PolicyKind::Cameo};
+
+    ExperimentRunner seq(opts);
+
+    ASSERT_EQ(setenv("SILC_THREADS", "4", 1), 0);
+    ParallelRunner par(opts);  // picks up SILC_THREADS
+    ASSERT_EQ(unsetenv("SILC_THREADS"), 0);
+    ASSERT_EQ(par.threads(), 4u);
+
+    std::vector<std::vector<ParallelRunner::Job>> jobs(workloads.size());
+    for (size_t w = 0; w < workloads.size(); ++w)
+        for (PolicyKind kind : kinds)
+            jobs[w].push_back(par.submit(workloads[w], kind));
+
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        for (size_t k = 0; k < kinds.size(); ++k) {
+            const SimResult s = seq.run(workloads[w], kinds[k]);
+            const SimResult p = jobs[w][k].get();
+            EXPECT_EQ(s.ticks, p.ticks)
+                << workloads[w] << "/" << policyKindName(kinds[k]);
+            EXPECT_EQ(s.instructions, p.instructions);
+            EXPECT_EQ(s.llc_misses, p.llc_misses);
+            EXPECT_EQ(s.nm_total_bytes, p.nm_total_bytes);
+            EXPECT_EQ(s.fm_total_bytes, p.fm_total_bytes);
+            EXPECT_EQ(s.migration_bytes, p.migration_bytes);
+            // The speedups share the same cached denominator.
+            EXPECT_DOUBLE_EQ(seq.speedup(s), par.speedup(p));
+        }
+    }
+    EXPECT_EQ(par.jobsCompleted(),
+              workloads.size() * kinds.size() + workloads.size());
+}
+
+TEST(ParallelRunnerTest, BaselineComputedExactlyOnce)
+{
+    ParallelRunner runner(tinyOptions(), 4);
+
+    // Hammer the cache from many external threads at once: everyone
+    // must see the same ticks and only one baseline simulation may run.
+    constexpr int kRequesters = 8;
+    std::vector<Tick> ticks(kRequesters, 0);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kRequesters; ++i) {
+        threads.emplace_back([&runner, &ticks, i] {
+            ticks[static_cast<size_t>(i)] = runner.baselineTicks("mcf");
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(runner.baselineRuns(), 1u);
+    for (int i = 1; i < kRequesters; ++i)
+        EXPECT_EQ(ticks[static_cast<size_t>(i)], ticks[0]);
+
+    // FmOnly submissions reuse the cache instead of re-running.
+    ParallelRunner::Job job = runner.submit("mcf", PolicyKind::FmOnly);
+    EXPECT_EQ(job.get().ticks, ticks[0]);
+    EXPECT_EQ(runner.baselineRuns(), 1u);
+}
+
+TEST(ParallelRunnerTest, LogThreadTagRoundTrips)
+{
+    logSetThreadTag("unit/test");
+    EXPECT_EQ(logThreadTag(), "unit/test");
+    logSetThreadTag("");
+    EXPECT_EQ(logThreadTag(), "");
+}

@@ -11,16 +11,18 @@
 #include <vector>
 
 #include "sim/parallel.hh"
+#include "sim/result_writer.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
 using namespace silc::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
     ParallelRunner runner(opts);
+    runner.setJsonPath(jsonOutputPath(argc, argv));
 
     const std::vector<uint32_t> ways = {1, 2, 4, 8};
     const std::vector<std::string> workloads = {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sim/parallel.hh"
+#include "sim/result_writer.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
@@ -38,10 +39,11 @@ constexpr Variant kVariants[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
     ParallelRunner runner(opts);
+    runner.setJsonPath(jsonOutputPath(argc, argv));
 
     const std::vector<std::string> workloads = {
         "xalanc", "gcc", "omnet", "mcf", "lbm",

@@ -10,15 +10,17 @@
 #include <vector>
 
 #include "sim/parallel.hh"
+#include "sim/result_writer.hh"
 
 using namespace silc;
 using namespace silc::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
     ParallelRunner runner(opts);
+    runner.setJsonPath(jsonOutputPath(argc, argv));
     const std::string workload = "milc";   // the paper's bypass example
 
     std::printf("=== Bypass target sweep on %s "

@@ -13,16 +13,18 @@
 #include <vector>
 
 #include "sim/parallel.hh"
+#include "sim/result_writer.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
 using namespace silc::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
     ParallelRunner runner(opts);
+    runner.setJsonPath(jsonOutputPath(argc, argv));
 
     std::printf("=== Energy / EDP: SILC-FM vs CAMEO ===\n\n");
     std::printf("%-10s | %10s %12s | %10s %12s | %8s\n", "bench",

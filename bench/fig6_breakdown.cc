@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/parallel.hh"
+#include "sim/result_writer.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
@@ -40,10 +41,11 @@ constexpr Variant kVariants[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
     ParallelRunner runner(opts);
+    runner.setJsonPath(jsonOutputPath(argc, argv));
 
     std::printf("=== Figure 6: SILC-FM breakdown "
                 "(speedup over no-NM baseline) ===\n\n");

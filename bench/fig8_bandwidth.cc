@@ -14,16 +14,18 @@
 #include <vector>
 
 #include "sim/parallel.hh"
+#include "sim/result_writer.hh"
 #include "trace/profiles.hh"
 
 using namespace silc;
 using namespace silc::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
     ParallelRunner runner(opts);
+    runner.setJsonPath(jsonOutputPath(argc, argv));
 
     const std::vector<PolicyKind> kinds = {
         PolicyKind::Random, PolicyKind::Hma,  PolicyKind::Cameo,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/parallel.hh"
+#include "sim/result_writer.hh"
 #include "sim/system.hh"
 #include "trace/profiles.hh"
 
@@ -20,10 +21,11 @@ using namespace silc;
 using namespace silc::sim;
 
 int
-main()
+main(int argc, char **argv)
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
     ParallelRunner runner(opts);
+    runner.setJsonPath(jsonOutputPath(argc, argv));
 
     std::printf("=== Table III: measured workload characteristics ===\n");
     std::printf("(per-core MPKI from the no-NM baseline; footprint = "

@@ -59,6 +59,28 @@ Distribution::value() const
     return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
 }
 
+double
+Distribution::percentile(double p) const
+{
+    if (n_ == 0)
+        return 0.0;
+    p = std::min(1.0, std::max(0.0, p));
+    const double target = p * static_cast<double>(n_);
+    double cum = static_cast<double>(underflow_);
+    if (target <= cum)
+        return min_;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        const auto cnt = static_cast<double>(buckets_[i]);
+        if (cnt > 0.0 && target <= cum + cnt) {
+            const double frac = (target - cum) / cnt;
+            return min_ +
+                (static_cast<double>(i) + frac) * bucket_width_;
+        }
+        cum += cnt;
+    }
+    return max_;
+}
+
 void
 Distribution::reset()
 {
@@ -73,7 +95,8 @@ std::string
 Distribution::render() const
 {
     std::ostringstream os;
-    os << "mean=" << value() << " n=" << n_;
+    os << "mean=" << value() << " n=" << n_ << " p50=" << percentile(0.5)
+       << " p95=" << percentile(0.95) << " p99=" << percentile(0.99);
     return os.str();
 }
 

@@ -123,6 +123,14 @@ class Distribution : public StatBase
     /** Mean of all samples (including out-of-range ones). */
     double value() const override;
 
+    /**
+     * The @p p quantile (p in [0, 1]) estimated from the buckets with
+     * linear interpolation inside the containing bucket.  Samples in the
+     * underflow bucket report min(), overflow samples max() — the
+     * histogram cannot resolve beyond its range.  Zero samples yield 0.
+     */
+    double percentile(double p) const;
+
     void reset() override;
     std::string render() const override;
 

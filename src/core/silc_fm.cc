@@ -1,6 +1,7 @@
 #include "core/silc_fm.hh"
 
 #include "common/logging.hh"
+#include "telemetry/sampler.hh"
 
 namespace silc {
 namespace core {
@@ -466,6 +467,29 @@ SilcFmPolicy::demandAccess(Addr paddr, bool is_write, CoreId core,
     balancer_.record(res.loc.in_nm);
 
     issueDemandTimed(res, set, pc, sub_addr, core, std::move(done), now);
+}
+
+void
+SilcFmPolicy::registerTelemetry(telemetry::Sampler &sampler) const
+{
+    FlatMemoryPolicy::registerTelemetry(sampler);
+    sampler.addCounter("silcfm.swaps",
+                       [this] { return double(swaps_); });
+    sampler.addCounter("silcfm.restores",
+                       [this] { return double(restores_); });
+    sampler.addCounter("silcfm.locks",
+                       [this] { return double(locks_); });
+    sampler.addCounter("silcfm.unlocks",
+                       [this] { return double(unlocks_); });
+    sampler.addCounter("silcfm.historyFetched",
+                       [this] { return double(history_fetched_); });
+    sampler.addCounter("silcfm.bypassed",
+                       [this] { return double(bypassed_); });
+    // Share of the epoch's demand misses the balancer steered to FM —
+    // the phase view of Section III-E's reaction to bandwidth shifts.
+    sampler.addRatio("silcfm.bypassRate",
+                     [this] { return double(bypassed_); },
+                     [this] { return double(demandRequests()); });
 }
 
 bool

@@ -92,6 +92,12 @@ class Core
     /** Cycles in which dispatch was blocked by memory backpressure. */
     uint64_t memStallCycles() const { return mem_stall_cycles_; }
 
+    /** All dispatch-blocked cycles (ROB full + memory backpressure). */
+    uint64_t stallCycles() const
+    {
+        return rob_full_cycles_ + mem_stall_cycles_;
+    }
+
     /** Current ROB occupancy. */
     uint32_t robOccupancy() const
     {

@@ -20,8 +20,10 @@ trafficClassName(TrafficClass c)
 }
 
 ChannelController::ChannelController(const DramTimingParams &params,
-                                     EventQueue &events)
-    : params_(params), events_(events)
+                                     EventQueue &events,
+                                     stats::Distribution *read_delay_hist)
+    : params_(params), events_(events),
+      read_delay_hist_(read_delay_hist)
 {
     banks_.resize(params_.banks_per_rank * params_.ranks_per_channel);
     next_refresh_ = params_.t_refi != 0
@@ -140,8 +142,11 @@ ChannelController::issue(DecodedRequest &dec, Tick now)
         ++writes_served_;
     } else {
         ++reads_served_;
-        read_delay_sum_ +=
+        const double delay =
             static_cast<double>(svc.data_start - dec.enqueued);
+        read_delay_sum_ += delay;
+        if (read_delay_hist_)
+            read_delay_hist_->sample(delay);
     }
 
     if (dec.req.on_complete) {

@@ -41,7 +41,13 @@ struct DecodedRequest
 class ChannelController
 {
   public:
-    ChannelController(const DramTimingParams &params, EventQueue &events);
+    /**
+     * @param read_delay_hist optional device-shared histogram of read
+     *        queueing delays (CPU ticks), sampled once per read issued;
+     *        the owning DramSystem exports its percentiles as telemetry.
+     */
+    ChannelController(const DramTimingParams &params, EventQueue &events,
+                      stats::Distribution *read_delay_hist = nullptr);
 
     /** Accept a decoded request (queues are elastic; see DESIGN.md). */
     void enqueue(DecodedRequest req, Tick now);
@@ -88,6 +94,7 @@ class ChannelController
 
     const DramTimingParams &params_;
     EventQueue &events_;
+    stats::Distribution *read_delay_hist_;
 
     std::vector<Bank> banks_;
     /** Critical-path reads: demand and metadata. */

@@ -1,13 +1,18 @@
 #include "dram/dram_system.hh"
 
 #include "common/logging.hh"
+#include "telemetry/sampler.hh"
 
 namespace silc {
 namespace dram {
 
 DramSystem::DramSystem(DramTimingParams params, uint64_t capacity,
                        EventQueue &events)
-    : params_(std::move(params)), capacity_(capacity), events_(events)
+    : params_(std::move(params)), capacity_(capacity), events_(events),
+      // Queue delays at this scale live in the tens-to-hundreds of CPU
+      // ticks; 8-tick buckets up to 1024 resolve p50-p99, with the
+      // saturating overflow bucket catching drain-mode outliers.
+      read_delay_hist_(0.0, 1024.0, 128)
 {
     params_.validate();
     if (capacity_ == 0 || capacity_ % kLargeBlockSize != 0)
@@ -15,8 +20,8 @@ DramSystem::DramSystem(DramTimingParams params, uint64_t capacity,
               "block size", params_.name.c_str());
     channels_.reserve(params_.channels);
     for (uint32_t c = 0; c < params_.channels; ++c)
-        channels_.push_back(
-            std::make_unique<ChannelController>(params_, events_));
+        channels_.push_back(std::make_unique<ChannelController>(
+            params_, events_, &read_delay_hist_));
 }
 
 AddressDecode
@@ -189,10 +194,44 @@ DramSystem::queuedRequests() const
 }
 
 void
+DramSystem::registerTelemetry(telemetry::Sampler &sampler,
+                              const std::string &prefix) const
+{
+    sampler.addCounter(prefix + ".bytes",
+                       [this] { return double(traffic_.total()); });
+    sampler.addCounter(prefix + ".demandBytes",
+                       [this] { return double(demandBytes()); });
+    sampler.addRatio(prefix + ".rowHitRate",
+                     [this] { return double(rowHits()); },
+                     [this] { return double(rowHits() + rowMisses()); });
+    sampler.addDistribution(prefix + ".readDelay", read_delay_hist_);
+
+    for (size_t c = 0; c < channels_.size(); ++c) {
+        const ChannelController *ch = channels_[c].get();
+        const std::string p =
+            prefix + ".ch" + std::to_string(c);
+        sampler.addGauge(p + ".readQ",
+                         [ch] { return double(ch->readQueueDepth()); });
+        sampler.addGauge(p + ".writeQ",
+                         [ch] { return double(ch->writeQueueDepth()); });
+        sampler.addRatio(p + ".rowHitRate",
+                         [ch] { return double(ch->rowHits()); },
+                         [ch] {
+                             return double(ch->rowHits() +
+                                           ch->rowMisses());
+                         });
+        // Per-channel data-bus duty cycle within the epoch.
+        sampler.addRate(p + ".busUtil",
+                        [ch] { return double(ch->busBusyTicks()); });
+    }
+}
+
+void
 DramSystem::reset()
 {
     for (auto &ch : channels_)
         ch->reset();
+    read_delay_hist_.reset();
     traffic_ = TrafficBytes{};
     issued_requests_ = 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "dram/controller.hh"
 #include "dram/energy.hh"
@@ -23,6 +24,11 @@
 #include "dram/timing.hh"
 
 namespace silc {
+
+namespace telemetry {
+class Sampler;
+} // namespace telemetry
+
 namespace dram {
 
 /** Where a device-local address lands in the DRAM geometry. */
@@ -125,6 +131,21 @@ class DramSystem
     /** Queue depth across channels (diagnostics / backpressure hints). */
     size_t queuedRequests() const;
 
+    /** Histogram of read queueing delays (CPU ticks), device-wide. */
+    const stats::Distribution &readDelayHistogram() const
+    {
+        return read_delay_hist_;
+    }
+
+    /**
+     * Register per-epoch probes under @p prefix ("nm", "fm"): device
+     * bytes/demand-bytes per epoch, read-delay percentiles, plus
+     * per-channel read/write queue depth, row-hit rate and bus
+     * utilization.  The device must outlive @p sampler.
+     */
+    void registerTelemetry(telemetry::Sampler &sampler,
+                           const std::string &prefix) const;
+
     /** Clear all queues, bank state and statistics. */
     void reset();
 
@@ -132,6 +153,7 @@ class DramSystem
     DramTimingParams params_;
     uint64_t capacity_;
     EventQueue &events_;
+    stats::Distribution read_delay_hist_;
     std::vector<std::unique_ptr<ChannelController>> channels_;
     TrafficBytes traffic_;
     uint64_t issued_requests_ = 0;

@@ -1,6 +1,7 @@
 #include "policy/policy.hh"
 
 #include "common/logging.hh"
+#include "telemetry/sampler.hh"
 
 namespace silc {
 namespace policy {
@@ -87,6 +88,22 @@ FlatMemoryPolicy::moveSubblock(const Location &src, const Location &dst,
                              dram::TrafficClass::Migration, core, t);
               },
               now);
+}
+
+void
+FlatMemoryPolicy::registerTelemetry(telemetry::Sampler &sampler) const
+{
+    sampler.addCounter("policy.nmServiced",
+                       [this] { return double(nmServiced()); });
+    sampler.addCounter("policy.fmServiced",
+                       [this] { return double(fmServiced()); });
+    sampler.addCounter("policy.migrationOps",
+                       [this] { return double(migrationOps()); });
+    // Equation 1, per epoch rather than end-of-run: the NM-serviced
+    // share of the demand misses that arrived within the epoch.
+    sampler.addRatio("policy.hitRate",
+                     [this] { return double(nmServiced()); },
+                     [this] { return double(demandRequests()); });
 }
 
 void

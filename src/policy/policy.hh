@@ -27,6 +27,11 @@
 #include "dram/dram_system.hh"
 
 namespace silc {
+
+namespace telemetry {
+class Sampler;
+} // namespace telemetry
+
 namespace policy {
 
 /** Completion callback for a demand access. */
@@ -93,6 +98,14 @@ class FlatMemoryPolicy
      * writebacks and, in tests, to assert the mapping stays bijective.
      */
     virtual Location locate(Addr paddr) const = 0;
+
+    /**
+     * Register per-epoch telemetry probes over this policy's counters.
+     * The base registers the service counters and the Equation 1 hit
+     * rate; schemes override (and chain up) to add their own series.
+     * The policy must outlive @p sampler.
+     */
+    virtual void registerTelemetry(telemetry::Sampler &sampler) const;
 
     // ---- Access-rate statistics (paper Equation 1). ----
 

@@ -31,6 +31,8 @@ ExperimentOptions::fromEnv()
     o.nm_bytes = envU64("SILC_NM_MIB", o.nm_bytes >> 20) << 20;
     o.fm_bytes = envU64("SILC_FM_MIB", o.fm_bytes >> 20) << 20;
     o.seed = envU64("SILC_SEED", o.seed);
+    o.telemetry = envU64("SILC_TELEMETRY", o.telemetry ? 1 : 0) != 0;
+    o.epoch_ticks = envU64("SILC_EPOCH_TICKS", o.epoch_ticks);
     return o;
 }
 
@@ -61,6 +63,8 @@ makeConfig(const std::string &workload, PolicyKind kind,
     cfg.hma.max_migrations_per_epoch = 256;
     // PoM's competing-counter threshold, scaled like the others.
     cfg.pom.migration_threshold = 48;
+    cfg.telemetry.enabled = opts.telemetry;
+    cfg.telemetry.epoch_ticks = opts.epoch_ticks;
     return cfg;
 }
 

@@ -5,17 +5,27 @@
  * a denominator, applies environment-variable scale overrides, and
  * provides table formatting helpers.
  *
- * Scale knobs (environment variables, all optional):
+ * Scale knobs (environment variables, all optional).  Defaults quote
+ * the ExperimentOptions initializers below — keep them in sync:
  *   SILC_CORES   - cores per run          (default 8)
- *   SILC_INSTR   - instructions per core  (default 300000)
- *   SILC_NM_MIB  - NM capacity in MiB     (default 16)
- *   SILC_FM_MIB  - FM capacity in MiB     (default 64)
+ *   SILC_INSTR   - instructions per core  (default 2400000)
+ *   SILC_NM_MIB  - NM capacity in MiB     (default 4)
+ *   SILC_FM_MIB  - FM capacity in MiB     (default 16)
  *   SILC_SEED    - RNG seed               (default 1)
  *   SILC_THREADS - simulation worker threads used by the benches'
  *                  ParallelRunner (sim/parallel.hh); default is
  *                  hardware_concurrency, 1 runs everything
  *                  sequentially.  Tables are byte-identical across
  *                  thread counts.
+ *
+ * Telemetry / export knobs (see src/telemetry/ and sim/result_writer.hh):
+ *   SILC_JSON        - write every run's SimResult (plus its epoch time
+ *                      series) to this path as one JSON document; the
+ *                      benches also accept --json <path>, which wins.
+ *                      Implies per-run telemetry.
+ *   SILC_EPOCH_TICKS - ticks per telemetry epoch (default 100000)
+ *   SILC_TELEMETRY   - set to 1 to record per-run time series even
+ *                      without SILC_JSON
  */
 
 #ifndef SILC_SIM_EXPERIMENT_HH
@@ -39,6 +49,11 @@ struct ExperimentOptions
     uint64_t nm_bytes = 4 * 1024 * 1024;
     uint64_t fm_bytes = 16 * 1024 * 1024;
     uint64_t seed = 1;
+
+    /** Record per-run epoch time series (SILC_TELEMETRY / SILC_JSON). */
+    bool telemetry = false;
+    /** Telemetry epoch length in ticks (SILC_EPOCH_TICKS). */
+    uint64_t epoch_ticks = 100'000;
 
     /** Read overrides from the environment. */
     static ExperimentOptions fromEnv();

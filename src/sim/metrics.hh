@@ -8,12 +8,18 @@
 #define SILC_SIM_METRICS_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace silc {
+
+namespace telemetry {
+struct TimeSeries;
+} // namespace telemetry
+
 namespace sim {
 
 /** Everything a bench needs from one run. */
@@ -59,6 +65,13 @@ struct SimResult
     double energy_total_j = 0.0;
     /** Energy-delay product in joule-seconds. */
     double edp = 0.0;
+
+    /**
+     * Epoch time series recorded during the run; null unless
+     * SystemConfig::telemetry was enabled.  Shared and immutable, so
+     * SimResult stays cheap to copy through the parallel harness.
+     */
+    std::shared_ptr<const telemetry::TimeSeries> telemetry;
 
     /** Demand-bandwidth share serviced by NM (Figure 8). */
     double nmDemandFraction() const;

@@ -106,8 +106,31 @@ class ParallelRunner
     /** @param threads worker count; 0 means parallelThreadsFromEnv(). */
     explicit ParallelRunner(ExperimentOptions opts, unsigned threads = 0);
 
+    /** Flushes the JSON result file (if configured) after draining. */
+    ~ParallelRunner();
+
     const ExperimentOptions &options() const { return opts_; }
     unsigned threads() const { return pool_.threads(); }
+
+    /**
+     * Record every subsequently submitted run and write one JSON
+     * document (sim/result_writer.hh schema) to @p path when the runner
+     * is destroyed or writeJson() is called.  Turns on per-run telemetry
+     * so each run embeds its epoch time series.  Empty path disables
+     * (so benches can pass jsonOutputPath() unconditionally).  Call
+     * before the first submit.
+     */
+    void setJsonPath(std::string path);
+
+    /** The configured JSON output path ("" when disabled). */
+    const std::string &jsonPath() const { return json_path_; }
+
+    /**
+     * Wait for all recorded jobs and write the JSON document now.
+     * Idempotent; the destructor calls it.  Only call from the main
+     * (submitting) thread.
+     */
+    void writeJson();
 
     /**
      * Submit one (workload, scheme) pair.  FmOnly requests are routed
@@ -158,6 +181,11 @@ class ParallelRunner
 
     ExperimentOptions opts_;
     std::chrono::steady_clock::time_point start_;
+
+    /** Jobs in submission order for the JSON document (main thread). */
+    std::string json_path_;
+    std::vector<Job> recorded_;
+    bool json_written_ = false;
 
     std::mutex baseline_mutex_;
     std::map<std::string, Job> baselines_;

@@ -282,6 +282,48 @@ System::System(SystemConfig cfg)
         cores_.push_back(std::make_unique<cpu::Core>(
             c, core_params, *traces_.back(), *hierarchy_));
     }
+
+    if (cfg_.telemetry.enabled)
+        attachTelemetry();
+}
+
+void
+System::attachTelemetry()
+{
+    recorder_ = std::make_unique<telemetry::Recorder>(
+        cfg_.telemetry,
+        cfg_.workload + "/" + policyKindName(cfg_.policy));
+    telemetry::Sampler &s = recorder_->sampler();
+
+    policy_->registerTelemetry(s);
+    if (nm_)
+        nm_->registerTelemetry(s, "nm");
+    fm_->registerTelemetry(s, "fm");
+
+    // Cores aggregate: the figures of interest (warm-up, phase shifts)
+    // show up identically on every core of a rate-mode run, so one
+    // averaged series keeps the probe list readable.
+    const double inv_cores = 1.0 / static_cast<double>(cfg_.cores);
+    s.addRate("cpu.ipc", [this, inv_cores] {
+        double retired = 0.0;
+        for (const auto &core : cores_)
+            retired += static_cast<double>(core->retired());
+        return retired * inv_cores;
+    });
+    s.addGauge("cpu.robOccupancy", [this, inv_cores] {
+        double occ = 0.0;
+        for (const auto &core : cores_)
+            occ += static_cast<double>(core->robOccupancy());
+        return occ * inv_cores;
+    });
+    s.addRate("cpu.stallFraction", [this, inv_cores] {
+        double stalls = 0.0;
+        for (const auto &core : cores_)
+            stalls += static_cast<double>(core->stallCycles());
+        return stalls * inv_cores;
+    });
+
+    recorder_->start(events_);
 }
 
 System::~System() = default;
@@ -373,6 +415,11 @@ System::run()
         nm_ ? nm_->energyJoules(r.ticks, cpu_freq_hz) : 0.0;
     r.energy_total_j = r.energy_fm_j + r.energy_nm_j;
     r.edp = r.energy_total_j * r.seconds(cpu_freq_hz);
+
+    if (recorder_) {
+        recorder_->finish(r.ticks);
+        r.telemetry = recorder_->series();
+    }
     return r;
 }
 

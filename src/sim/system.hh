@@ -30,6 +30,7 @@
 #include "policy/pom.hh"
 #include "sim/metrics.hh"
 #include "sim/translation.hh"
+#include "telemetry/recorder.hh"
 #include "trace/generator.hh"
 
 namespace silc {
@@ -89,6 +90,13 @@ struct SystemConfig
     policy::PomParams pom;
     policy::CameoParams cameo;
 
+    /**
+     * Epoch time-series instrumentation (src/telemetry/).  Disabled by
+     * default: no epoch events are scheduled and run() leaves
+     * SimResult::telemetry null, so simulation timing is unaffected.
+     */
+    telemetry::TelemetryConfig telemetry;
+
     /** Safety cutoff. */
     Tick max_ticks = 500'000'000;
 
@@ -130,6 +138,9 @@ class System
     EventQueue &events() { return events_; }
 
   private:
+    /** Build the recorder and register every component's probes. */
+    void attachTelemetry();
+
     SystemConfig cfg_;
     EventQueue events_;
     std::unique_ptr<dram::DramSystem> nm_;
@@ -139,6 +150,7 @@ class System
     std::unique_ptr<MemoryHierarchy> hierarchy_;
     std::vector<std::unique_ptr<trace::TraceSource>> traces_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::unique_ptr<telemetry::Recorder> recorder_;
 };
 
 /**

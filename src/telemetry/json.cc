@@ -1,0 +1,55 @@
+#include "telemetry/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace silc {
+namespace telemetry {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonString(std::string_view s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+jsonDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc())
+        return "null";
+    return std::string(buf, end);
+}
+
+} // namespace telemetry
+} // namespace silc

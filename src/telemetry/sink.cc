@@ -1,0 +1,87 @@
+#include "telemetry/sink.hh"
+
+#include "common/logging.hh"
+#include "telemetry/json.hh"
+
+namespace silc {
+namespace telemetry {
+
+StreamSink::StreamSink(std::ostream &os)
+    : os_(&os)
+{
+}
+
+StreamSink::StreamSink(const std::string &path)
+    : owned_(std::make_unique<std::ofstream>(path)), os_(owned_.get())
+{
+    if (!owned_->is_open())
+        fatal("telemetry: cannot open sink file '%s'", path.c_str());
+}
+
+void
+JsonLinesSink::begin(const SeriesHeader &header)
+{
+    std::ostream &os = out();
+    os << "{\"type\":\"header\",\"run\":" << jsonString(header.run_id)
+       << ",\"epoch_ticks\":" << header.epoch_ticks << ",\"probes\":[";
+    for (size_t i = 0; i < header.probes.size(); ++i) {
+        if (i != 0)
+            os << ",";
+        os << jsonString(header.probes[i]);
+    }
+    os << "]}\n";
+}
+
+void
+JsonLinesSink::epoch(const SeriesHeader &header, const EpochRecord &rec)
+{
+    (void)header;
+    std::ostream &os = out();
+    os << "{\"type\":\"epoch\",\"epoch\":" << rec.index
+       << ",\"tick\":" << rec.tick << ",\"elapsed\":" << rec.elapsed
+       << ",\"values\":[";
+    for (size_t i = 0; i < rec.values.size(); ++i) {
+        if (i != 0)
+            os << ",";
+        os << jsonDouble(rec.values[i]);
+    }
+    os << "]}\n";
+}
+
+void
+CsvSink::begin(const SeriesHeader &header)
+{
+    std::ostream &os = out();
+    os << "epoch,tick,elapsed";
+    for (const auto &name : header.probes)
+        os << "," << name;
+    os << "\n";
+}
+
+void
+CsvSink::epoch(const SeriesHeader &header, const EpochRecord &rec)
+{
+    (void)header;
+    std::ostream &os = out();
+    os << rec.index << "," << rec.tick << "," << rec.elapsed;
+    for (double v : rec.values)
+        os << "," << jsonDouble(v);
+    os << "\n";
+}
+
+void
+MemorySink::begin(const SeriesHeader &header)
+{
+    series_.header = header;
+    series_.epochs.clear();
+}
+
+void
+MemorySink::epoch(const SeriesHeader &header, const EpochRecord &rec)
+{
+    (void)header;
+    series_.epochs.push_back(rec);
+}
+
+} // namespace telemetry
+} // namespace silc

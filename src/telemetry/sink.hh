@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pluggable consumers of an epoch time series.
+ *
+ * A Sink sees the series header once, then one record per epoch as the
+ * run progresses, then an end() flush — streaming, so file sinks never
+ * buffer a whole run.  Shipped implementations:
+ *
+ *   JsonLinesSink  one JSON object per line (header line, then epochs)
+ *   CsvSink        a header row, then one row per epoch
+ *   MemorySink     rebuilds the TimeSeries in memory (tests, embedding)
+ *
+ * Output is deterministic byte-for-byte: doubles render via the
+ * shortest-round-trip formatter in telemetry/json.hh.
+ */
+
+#ifndef SILC_TELEMETRY_SINK_HH
+#define SILC_TELEMETRY_SINK_HH
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "telemetry/series.hh"
+
+namespace silc {
+namespace telemetry {
+
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+
+    /** Called once, before any epoch, with the frozen probe list. */
+    virtual void begin(const SeriesHeader &header) = 0;
+
+    /** Called once per sampled epoch, in order. */
+    virtual void epoch(const SeriesHeader &header,
+                       const EpochRecord &rec) = 0;
+
+    /** Called once after the final epoch; flush buffers here. */
+    virtual void end() {}
+};
+
+/** Base for sinks writing to an owned file or a borrowed stream. */
+class StreamSink : public Sink
+{
+  public:
+    /** Write to @p os (caller keeps ownership and lifetime). */
+    explicit StreamSink(std::ostream &os);
+
+    /** Open @p path for writing; fatal() when the open fails. */
+    explicit StreamSink(const std::string &path);
+
+    void end() override { os_->flush(); }
+
+  protected:
+    std::ostream &out() { return *os_; }
+
+  private:
+    std::unique_ptr<std::ofstream> owned_;
+    std::ostream *os_;
+};
+
+/** JSON Lines: a header object, then one object per epoch. */
+class JsonLinesSink : public StreamSink
+{
+  public:
+    using StreamSink::StreamSink;
+
+    void begin(const SeriesHeader &header) override;
+    void epoch(const SeriesHeader &header,
+               const EpochRecord &rec) override;
+};
+
+/** CSV: "epoch,tick,elapsed,<probe...>" then one row per epoch. */
+class CsvSink : public StreamSink
+{
+  public:
+    using StreamSink::StreamSink;
+
+    void begin(const SeriesHeader &header) override;
+    void epoch(const SeriesHeader &header,
+               const EpochRecord &rec) override;
+};
+
+/** Accumulates the series in memory; used by tests and the Recorder. */
+class MemorySink : public Sink
+{
+  public:
+    void begin(const SeriesHeader &header) override;
+    void epoch(const SeriesHeader &header,
+               const EpochRecord &rec) override;
+
+    const TimeSeries &series() const { return series_; }
+    TimeSeries takeSeries() { return std::move(series_); }
+
+  private:
+    TimeSeries series_;
+};
+
+} // namespace telemetry
+} // namespace silc
+
+#endif // SILC_TELEMETRY_SINK_HH

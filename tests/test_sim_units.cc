@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "sim/experiment.hh"
@@ -129,6 +130,40 @@ TEST(Metrics, GeomeanProperties)
     const double g1 = geomean({1.2, 1.5, 0.8});
     const double g2 = geomean({2.4, 3.0, 1.6});
     EXPECT_NEAR(g2, 2.0 * g1, 1e-12);
+}
+
+TEST(Metrics, GeomeanEdgeCases)
+{
+    // Empty input is defined as 0, not NaN.
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    // The log-domain accumulation must not overflow where a naive
+    // product of large speedups would (1e200^3 >> DBL_MAX).
+    const double big = geomean({1e200, 1e200, 1e200});
+    EXPECT_TRUE(std::isfinite(big));
+    EXPECT_NEAR(big, 1e200, 1e188);
+    // ... and symmetrically must not underflow to zero.
+    const double tiny = geomean({1e-200, 1e-200, 1e-200});
+    EXPECT_GT(tiny, 0.0);
+    EXPECT_NEAR(tiny, 1e-200, 1e-212);
+}
+
+TEST(Metrics, SecondsZeroTicks)
+{
+    SimResult r;
+    EXPECT_DOUBLE_EQ(r.seconds(), 0.0);
+    EXPECT_DOUBLE_EQ(r.seconds(1.0), 0.0);
+}
+
+TEST(Metrics, NmDemandFractionZeroDenominators)
+{
+    // All-FM traffic: fraction is 0 without dividing by zero.
+    SimResult fm_only;
+    fm_only.fm_demand_bytes = 512;
+    EXPECT_DOUBLE_EQ(fm_only.nmDemandFraction(), 0.0);
+    // All-NM traffic: fraction is exactly 1.
+    SimResult nm_only;
+    nm_only.nm_demand_bytes = 512;
+    EXPECT_DOUBLE_EQ(nm_only.nmDemandFraction(), 1.0);
 }
 
 // ---- experiment options -------------------------------------------------------

@@ -1,0 +1,158 @@
+/**
+ * fuzz_check: seeded differential-fuzzing campaigns for SILC-FM.
+ *
+ * Each campaign derives a parameter point (associativity, feature
+ * flags, thresholds, windows) and an adversarial access pattern from
+ * its seed, then replays the stream through a live SilcFmPolicy with
+ * the untimed reference model attached in lockstep (src/check/).  On
+ * the first divergence the failing trace is shrunk to a 1-minimal
+ * reproducer and written as a replayable silctrace file.
+ *
+ *   fuzz_check [--campaigns N] [--accesses M] [--seed S]
+ *              [--replay FILE]
+ *
+ * The base seed defaults to the SILC_FUZZ_SEED environment variable
+ * (then 1); campaign c uses seed S + c.  --replay re-runs one recorded
+ * trace under the campaign derived from --seed (print-outs of failures
+ * name the exact command).  Exit status: 0 clean, 1 divergence.
+ *
+ * Registered in ctest as `fuzz_check --campaigns 25` so every tier-1
+ * run fuzzes the oracle; see TESTING.md.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/campaign.hh"
+#include "common/config.hh"
+#include "trace/fuzz.hh"
+
+using namespace silc;
+
+namespace {
+
+uint64_t
+envSeed()
+{
+    const char *v = std::getenv("SILC_FUZZ_SEED");
+    return v == nullptr ? 1 : parseSize(v);
+}
+
+int
+reportAndPersist(const check::CampaignConfig &cfg,
+                 const std::vector<trace::FuzzAccess> &trace,
+                 const check::CampaignFailure &failure)
+{
+    std::fprintf(stderr,
+                 "fuzz_check: DIVERGENCE in campaign seed %llu (%s)\n"
+                 "  at access %zu/%zu: %s\n",
+                 static_cast<unsigned long long>(cfg.seed),
+                 check::describeCampaign(cfg).c_str(),
+                 failure.access_index, trace.size(),
+                 failure.why.c_str());
+
+    std::fprintf(stderr, "fuzz_check: shrinking...\n");
+    auto fails = [&cfg](const std::vector<trace::FuzzAccess> &t) {
+        return check::runCampaignTrace(cfg, t).has_value();
+    };
+    const std::vector<trace::FuzzAccess> minimal =
+        check::shrinkTrace(trace, fails);
+
+    const std::string path = "fuzz_fail_" + std::to_string(cfg.seed) +
+        ".silctrace";
+    check::writeFuzzTrace(path, minimal);
+    const auto final_failure = check::runCampaignTrace(cfg, minimal);
+
+    std::fprintf(stderr,
+                 "fuzz_check: shrunk %zu -> %zu accesses, wrote %s\n"
+                 "  minimal failure: %s\n"
+                 "  replay: fuzz_check --replay %s --seed %llu\n",
+                 trace.size(), minimal.size(), path.c_str(),
+                 final_failure ? final_failure->why.c_str() : "(gone?)",
+                 path.c_str(),
+                 static_cast<unsigned long long>(cfg.seed));
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t campaigns = 25;
+    uint64_t accesses = 4000;
+    uint64_t base_seed = envSeed();
+    std::string replay_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "fuzz_check: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--campaigns") {
+            campaigns = parseSize(value("--campaigns"));
+        } else if (arg == "--accesses") {
+            accesses = parseSize(value("--accesses"));
+        } else if (arg == "--seed") {
+            base_seed = parseSize(value("--seed"));
+        } else if (arg == "--replay") {
+            replay_path = value("--replay");
+        } else {
+            std::fprintf(stderr,
+                         "usage: fuzz_check [--campaigns N] "
+                         "[--accesses M] [--seed S] [--replay FILE]\n");
+            return 2;
+        }
+    }
+
+    if (!replay_path.empty()) {
+        const check::CampaignConfig cfg =
+            check::makeCampaign(base_seed, accesses);
+        const std::vector<trace::FuzzAccess> trace =
+            check::loadFuzzTrace(replay_path);
+        std::printf("fuzz_check: replaying %zu accesses from %s under "
+                    "seed %llu (%s)\n",
+                    trace.size(), replay_path.c_str(),
+                    static_cast<unsigned long long>(base_seed),
+                    check::describeCampaign(cfg).c_str());
+        const auto failure = check::runCampaignTrace(cfg, trace);
+        if (failure) {
+            std::printf("fuzz_check: DIVERGENCE at access %zu: %s\n",
+                        failure->access_index, failure->why.c_str());
+            return 1;
+        }
+        std::printf("fuzz_check: replay clean\n");
+        return 0;
+    }
+
+    uint64_t total_accesses = 0;
+    for (uint64_t c = 0; c < campaigns; ++c) {
+        const uint64_t seed = base_seed + c;
+        const check::CampaignConfig cfg =
+            check::makeCampaign(seed, accesses);
+        const std::vector<trace::FuzzAccess> trace =
+            trace::generateAdversarialTrace(cfg.pattern, cfg.geometry,
+                                            seed, accesses);
+        const auto failure = check::runCampaignTrace(cfg, trace);
+        if (failure)
+            return reportAndPersist(cfg, trace, *failure);
+        total_accesses += trace.size();
+        std::printf("campaign %3llu seed %-6llu %-72s ok\n",
+                    static_cast<unsigned long long>(c),
+                    static_cast<unsigned long long>(seed),
+                    check::describeCampaign(cfg).c_str());
+    }
+    std::printf("fuzz_check: %llu campaigns, %llu accesses, "
+                "0 divergences\n",
+                static_cast<unsigned long long>(campaigns),
+                static_cast<unsigned long long>(total_accesses));
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fuzz-campaign machinery shared by the fuzz_check driver and the
+ * oracle's own tests: deterministic campaign configuration from a
+ * seed, lockstep replay of an access vector under the differential
+ * checker, greedy delta-debugging trace shrinking, and failing-trace
+ * persistence in the replayable silctrace format.
+ *
+ * Everything is a pure function of its arguments: a campaign seed
+ * reconstructs the exact SilcFmParams and adversarial stream, so a
+ * failure report of (seed, trace file) is sufficient to replay.
+ */
+
+#ifndef SILC_CHECK_CAMPAIGN_HH
+#define SILC_CHECK_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/silc_fm.hh"
+#include "trace/fuzz.hh"
+
+namespace silc {
+namespace check {
+
+/** Everything one fuzz campaign needs, derived from its seed. */
+struct CampaignConfig
+{
+    core::SilcFmParams params;
+    trace::FuzzGeometry geometry;
+    trace::FuzzPattern pattern = trace::FuzzPattern::MixedChaos;
+    uint64_t seed = 0;
+    size_t accesses = 0;
+};
+
+/**
+ * Derive a campaign from @p seed: associativity, feature flags,
+ * thresholds, window/interval sizes and the adversarial pattern are
+ * all drawn from an RNG seeded with @p seed alone, so a seed printed
+ * in a failure report reconstructs the identical campaign.
+ */
+CampaignConfig makeCampaign(uint64_t seed, size_t accesses);
+
+/** One-line human summary of a campaign's knobs. */
+std::string describeCampaign(const CampaignConfig &cfg);
+
+/** A divergence observed while replaying a trace. */
+struct CampaignFailure
+{
+    /** Index of the offending access (== trace size: final sweep). */
+    size_t access_index = 0;
+    std::string why;
+};
+
+/**
+ * Replay @p accesses against a fresh policy + differential checker
+ * built from @p cfg.  Returns the first divergence, or nullopt when
+ * the whole trace (plus a final deep state sweep) is clean.
+ */
+std::optional<CampaignFailure> runCampaignTrace(
+    const CampaignConfig &cfg,
+    const std::vector<trace::FuzzAccess> &accesses);
+
+/**
+ * Greedy delta-debugging shrink: repeatedly drop chunks (halving the
+ * chunk size down to single accesses) while @p fails stays true.
+ * @p trace must satisfy @p fails on entry; the result still does and
+ * is 1-minimal with respect to single-access removal.
+ */
+std::vector<trace::FuzzAccess> shrinkTrace(
+    std::vector<trace::FuzzAccess> trace,
+    const std::function<bool(const std::vector<trace::FuzzAccess> &)>
+        &fails);
+
+/** Persist @p accesses as a silctrace file (vaddr = paddr). */
+void writeFuzzTrace(const std::string &path,
+                    const std::vector<trace::FuzzAccess> &accesses);
+
+/** Load a silctrace file back into an access vector (one pass). */
+std::vector<trace::FuzzAccess> loadFuzzTrace(const std::string &path);
+
+} // namespace check
+} // namespace silc
+
+#endif // SILC_CHECK_CAMPAIGN_HH

@@ -1,0 +1,229 @@
+#include "check/differential.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace check {
+
+using core::kNoRemap;
+using policy::Location;
+
+namespace {
+
+std::string
+locString(const Location &loc)
+{
+    std::ostringstream os;
+    os << (loc.in_nm ? "NM" : "FM") << "+0x" << std::hex
+       << loc.device_addr;
+    return os.str();
+}
+
+} // namespace
+
+DifferentialChecker::DifferentialChecker(const core::SilcFmPolicy &policy)
+    : DifferentialChecker(policy, Options{})
+{
+}
+
+DifferentialChecker::DifferentialChecker(
+    const core::SilcFmPolicy &policy, Options opts)
+    : policy_(policy),
+      opts_(opts),
+      ref_(policy.params(),
+           policy.metadata().frames() * kLargeBlockSize,
+           policy.flatSpaceBytes() -
+               policy.metadata().frames() * kLargeBlockSize)
+{
+    silc_assert(opts_.sweep_interval > 0);
+}
+
+void
+DifferentialChecker::fail(const std::string &why)
+{
+    if (opts_.panic_on_divergence) {
+        panic("differential oracle: %s (after %llu checked accesses)",
+              why.c_str(),
+              static_cast<unsigned long long>(checked_));
+    }
+    // Latch the first divergence: later ones are downstream noise of
+    // the same root cause, and the fuzzer's shrinker wants the trace
+    // that triggers the original.
+    if (!failed_) {
+        failed_ = true;
+        failure_ = why;
+    }
+}
+
+void
+DifferentialChecker::onDemandResolved(Addr paddr, bool is_write,
+                                      CoreId core, Addr pc,
+                                      const Location &serviced)
+{
+    (void)is_write;
+    (void)core;
+    if (failed_)
+        return;
+
+    const RefOutcome out = ref_.access(paddr, pc);
+    ++checked_;
+
+    if (out.serviced != serviced) {
+        std::ostringstream os;
+        os << "serviced location mismatch at paddr 0x" << std::hex
+           << paddr << std::dec << ": policy " << locString(serviced)
+           << ", reference " << locString(out.serviced);
+        fail(os.str());
+        return;
+    }
+
+    const Location ppost = policy_.locate(paddr);
+    const Location rpost = ref_.locate(paddr);
+    if (ppost != rpost) {
+        std::ostringstream os;
+        os << "post-access locate mismatch at paddr 0x" << std::hex
+           << paddr << std::dec << ": policy " << locString(ppost)
+           << ", reference " << locString(rpost);
+        fail(os.str());
+        return;
+    }
+
+    if (!compareCounters())
+        return;
+
+    if (checked_ % opts_.sweep_interval == 0)
+        verifyFullState();
+}
+
+bool
+DifferentialChecker::compareCounters()
+{
+    struct Pair
+    {
+        const char *name;
+        uint64_t policy_value;
+        uint64_t ref_value;
+    };
+    const Pair pairs[] = {
+        {"swaps", policy_.subblockSwaps(), ref_.swaps()},
+        {"restores", policy_.restores(), ref_.restores()},
+        {"locks", policy_.locks(), ref_.locks()},
+        {"unlocks", policy_.unlocks(), ref_.unlocks()},
+        {"historyFetched", policy_.historyFetchedSubblocks(),
+         ref_.historyFetched()},
+        {"bypassed", policy_.bypassedAccesses(), ref_.bypassed()},
+        {"allWaysLocked", policy_.allWaysLockedEvents(),
+         ref_.allWaysLocked()},
+        {"nmServiced", policy_.nmServiced(), ref_.nmServiced()},
+        {"fmServiced", policy_.fmServiced(), ref_.fmServiced()},
+    };
+    for (const Pair &p : pairs) {
+        if (p.policy_value != p.ref_value) {
+            std::ostringstream os;
+            os << "counter '" << p.name << "' mismatch: policy "
+               << p.policy_value << ", reference " << p.ref_value;
+            fail(os.str());
+            return false;
+        }
+    }
+    if (policy_.balancer().bypassing() != ref_.bypassing()) {
+        std::ostringstream os;
+        os << "bypass flag mismatch: policy "
+           << policy_.balancer().bypassing() << ", reference "
+           << ref_.bypassing();
+        fail(os.str());
+        return false;
+    }
+    return true;
+}
+
+bool
+DifferentialChecker::compareFrame(uint64_t frame)
+{
+    const core::WayMeta &m = policy_.metadata().meta(frame);
+    const RefFrame &r = ref_.frame(frame);
+
+    std::ostringstream os;
+    os << "frame " << frame << " state mismatch: ";
+
+    if (m.remap != r.remap) {
+        os << "remap (policy " << m.remap << ", reference " << r.remap
+           << ")";
+    } else if (m.bv.raw() != r.resident) {
+        os << "residency bitvector (policy " << m.bv.toString()
+           << ", reference "
+           << SubblockVector{r.resident}.toString() << ")";
+    } else if (m.used.raw() != r.used) {
+        os << "usage bitvector (policy " << m.used.toString()
+           << ", reference " << SubblockVector{r.used}.toString()
+           << ")";
+    } else if (m.locked != r.locked) {
+        os << "lock bit (policy " << m.locked << ", reference "
+           << r.locked << ")";
+    } else if (m.locked && m.native_locked != r.native_locked) {
+        // native_locked is only meaningful while locked: an aging
+        // unlock leaves the stale owner kind behind by design.
+        os << "native_locked (policy " << m.native_locked
+           << ", reference " << r.native_locked << ")";
+    } else if (m.lru != r.lru) {
+        os << "LRU stamp (policy " << m.lru << ", reference " << r.lru
+           << ")";
+    } else if (m.nm_counter != r.nm_counter) {
+        os << "nm_counter (policy " << unsigned(m.nm_counter)
+           << ", reference " << unsigned(r.nm_counter) << ")";
+    } else if (m.fm_counter != r.fm_counter) {
+        os << "fm_counter (policy " << unsigned(m.fm_counter)
+           << ", reference " << unsigned(r.fm_counter) << ")";
+    } else if (m.has_signature != r.has_signature) {
+        os << "signature validity (policy " << m.has_signature
+           << ", reference " << r.has_signature << ")";
+    } else if (m.has_signature && (m.first_pc != r.first_pc ||
+                                   m.first_addr != r.first_addr)) {
+        os << "signature value";
+    } else {
+        return true;
+    }
+    fail(os.str());
+    return false;
+}
+
+bool
+DifferentialChecker::verifyFullState()
+{
+    if (failed_)
+        return false;
+    ++sweeps_;
+
+    std::string why;
+    if (!ref_.selfCheck(&why)) {
+        fail("reference model self-check failed: " + why);
+        return false;
+    }
+
+    const core::NmMetadata &meta = policy_.metadata();
+    for (uint64_t frame = 0; frame < meta.frames(); ++frame) {
+        if (!compareFrame(frame))
+            return false;
+    }
+
+    // Victim agreement per set: redundant with the raw LRU compare but
+    // checks the exact decision future allocations will take.
+    for (uint64_t set = 0; set < meta.numSets(); ++set) {
+        const int pv = meta.victimWay(set);
+        const int rv = ref_.victimWay(set);
+        if (pv != rv) {
+            std::ostringstream os;
+            os << "victim way mismatch in set " << set << ": policy "
+               << pv << ", reference " << rv;
+            fail(os.str());
+            return false;
+        }
+    }
+
+    return compareCounters();
+}
+
+} // namespace check
+} // namespace silc

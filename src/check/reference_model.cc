@@ -1,0 +1,369 @@
+#include "check/reference_model.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace silc {
+namespace check {
+
+using core::kNoRemap;
+using policy::Location;
+
+ReferenceModel::ReferenceModel(const core::SilcFmParams &params,
+                               uint64_t nm_bytes, uint64_t fm_bytes)
+    : params_(params),
+      nm_pages_(nm_bytes / kLargeBlockSize),
+      total_pages_(nm_pages_ + fm_bytes / kLargeBlockSize),
+      num_sets_(nm_pages_ / params.associativity),
+      counter_max_(
+          static_cast<uint8_t>((1u << params.counter_bits) - 1)),
+      frames_(nm_pages_),
+      history_(params.history_entries, 0),
+      history_mask_(params.history_entries - 1)
+{
+    silc_assert(nm_pages_ > 0);
+    silc_assert(num_sets_ > 0);
+}
+
+RefOutcome
+ReferenceModel::access(Addr paddr, Addr pc)
+{
+    silc_assert(paddr < total_pages_ * kLargeBlockSize);
+
+    ++accesses_;
+    if (accesses_ % params_.aging_interval == 0)
+        agingSweep();
+
+    const uint64_t page = paddr >> kLargeBlockBits;
+    const uint32_t sub = subblockOffset(paddr);
+
+    const Location serviced = isNativePage(page)
+        ? accessNative(page, sub)
+        : accessFar(page, sub, pc);
+
+    if (serviced.in_nm)
+        ++nm_serviced_;
+    else
+        ++fm_serviced_;
+    recordBalancer(serviced.in_nm);
+
+    return RefOutcome{serviced};
+}
+
+Location
+ReferenceModel::accessNative(uint64_t page, uint32_t sub)
+{
+    RefFrame &f = frames_[page];
+    f.nm_counter = satInc(f.nm_counter);
+    f.lru = ++lru_clock_;
+
+    const bool bypass = bypassing_;
+
+    if (f.resident & bit(sub)) {
+        // The native subblock was displaced by an interleave: it is
+        // serviced from the FM page's home slot, and swaps back unless
+        // the way is locked or bypassing suppresses the churn.
+        const Location loc{false, fmHomeAddr(f.remap, sub)};
+        if (f.locked) {
+            // Locked interleaves stay put.
+        } else if (!bypass) {
+            f.resident &= ~bit(sub);
+            f.used &= ~bit(sub);
+        } else {
+            ++bypassed_;
+        }
+        return loc;
+    }
+
+    const Location loc{true, nmAddr(page, sub)};
+
+    if (params_.enable_locking && !f.locked && !bypass &&
+        f.nm_counter >= params_.hot_threshold) {
+        if (f.remap != kNoRemap)
+            restoreFrame(page);
+        f.locked = true;
+        f.native_locked = true;
+        ++locks_;
+    }
+    return loc;
+}
+
+Location
+ReferenceModel::accessFar(uint64_t page, uint32_t sub, Addr pc)
+{
+    const uint64_t set = page % num_sets_;
+    const Addr sub_addr = page * kLargeBlockSize +
+        static_cast<Addr>(sub) * kSubblockSize;
+    const bool bypass = bypassing_;
+
+    auto it = where_.find(page);
+    if (it != where_.end()) {
+        const uint64_t frame = it->second;
+        RefFrame &f = frames_[frame];
+        f.fm_counter = satInc(f.fm_counter);
+        f.lru = ++lru_clock_;
+
+        Location loc;
+        if (f.resident & bit(sub)) {
+            loc = Location{true, nmAddr(frame, sub)};
+            f.used |= bit(sub);
+        } else if (bypass) {
+            loc = Location{false, fmHomeAddr(page, sub)};
+            ++bypassed_;
+        } else {
+            loc = Location{false, fmHomeAddr(page, sub)};
+            swapIn(frame, page, sub, pc, sub_addr);
+        }
+
+        if (params_.enable_locking && !f.locked && !bypass &&
+            f.fm_counter >= params_.hot_threshold) {
+            lockFrame(frame);
+        }
+        return loc;
+    }
+
+    const Location loc{false, fmHomeAddr(page, sub)};
+    if (bypass) {
+        ++bypassed_;
+        return loc;
+    }
+
+    const int victim = victimWay(set);
+    if (victim < 0) {
+        ++all_locked_;
+        return loc;
+    }
+
+    const uint64_t frame =
+        set * params_.associativity + static_cast<uint64_t>(victim);
+    restoreFrame(frame);
+
+    RefFrame &f = frames_[frame];
+    f.remap = page;
+    where_[page] = frame;
+    f.fm_counter = satInc(0);
+    f.lru = ++lru_clock_;
+
+    swapIn(frame, page, sub, pc, sub_addr);
+    return loc;
+}
+
+void
+ReferenceModel::swapIn(uint64_t frame, uint64_t fm_page, uint32_t sub,
+                       Addr pc, Addr sub_addr)
+{
+    RefFrame &f = frames_[frame];
+    silc_assert(f.remap == fm_page);
+    silc_assert((f.resident & bit(sub)) == 0);
+
+    const bool first = f.resident == 0;
+    const Addr hist_pc = params_.history_index_by_page ? 0 : pc;
+    const Addr hist_addr = params_.history_index_by_page
+        ? fm_page * kLargeBlockSize
+        : sub_addr;
+
+    f.resident |= bit(sub);
+    f.used |= bit(sub);
+    ++swaps_;
+
+    if (!first)
+        return;
+
+    f.first_pc = hist_pc;
+    f.first_addr = hist_addr;
+    f.has_signature = true;
+
+    if (!params_.enable_history_fetch)
+        return;
+
+    const uint32_t hist = history_[historyIndex(hist_pc, hist_addr)];
+    if (static_cast<uint32_t>(std::popcount(hist)) <
+        params_.history_min_bits) {
+        return;
+    }
+    for (uint32_t j = 0; j < kSubblocksPerBlock; ++j) {
+        if (j == sub || (hist & bit(j)) == 0 || (f.resident & bit(j)))
+            continue;
+        f.resident |= bit(j);
+        ++swaps_;
+        ++history_fetched_;
+    }
+}
+
+void
+ReferenceModel::restoreFrame(uint64_t frame)
+{
+    RefFrame &f = frames_[frame];
+    silc_assert(!f.locked);
+    if (f.remap == kNoRemap) {
+        silc_assert(f.resident == 0);
+        return;
+    }
+
+    // Only the demanded-usage pattern is worth recalling; an all-zero
+    // vector carries no reuse information and is not saved.
+    if (f.has_signature && f.used != 0)
+        history_[historyIndex(f.first_pc, f.first_addr)] = f.used;
+    ++restores_;
+
+    where_.erase(f.remap);
+    f.remap = kNoRemap;
+    f.resident = 0;
+    f.used = 0;
+    f.fm_counter = 0;
+    f.has_signature = false;
+}
+
+void
+ReferenceModel::lockFrame(uint64_t frame)
+{
+    RefFrame &f = frames_[frame];
+    silc_assert(!f.locked);
+    silc_assert(f.remap != kNoRemap);
+
+    if (static_cast<uint32_t>(std::popcount(f.used)) >=
+        params_.lock_full_fetch_min_used) {
+        swaps_ += kSubblocksPerBlock -
+            static_cast<uint32_t>(std::popcount(f.resident));
+        f.resident = ~uint32_t(0);
+    }
+    f.locked = true;
+    f.native_locked = false;
+    ++locks_;
+}
+
+void
+ReferenceModel::agingSweep()
+{
+    for (RefFrame &f : frames_) {
+        f.nm_counter = static_cast<uint8_t>(f.nm_counter >> 1);
+        f.fm_counter = static_cast<uint8_t>(f.fm_counter >> 1);
+    }
+    if (!params_.enable_locking)
+        return;
+    for (RefFrame &f : frames_) {
+        if (!f.locked)
+            continue;
+        const uint8_t owner =
+            f.native_locked ? f.nm_counter : f.fm_counter;
+        if (owner < params_.hot_threshold) {
+            f.locked = false;
+            ++unlocks_;
+        }
+    }
+}
+
+void
+ReferenceModel::recordBalancer(bool serviced_from_nm)
+{
+    if (!params_.enable_bypass)
+        return;
+    ++bal_in_window_;
+    if (serviced_from_nm)
+        ++bal_nm_in_window_;
+    if (bal_in_window_ >= params_.bypass_window) {
+        const double rate = static_cast<double>(bal_nm_in_window_) /
+            static_cast<double>(bal_in_window_);
+        bypassing_ = rate > params_.bypass_target;
+        bal_in_window_ = 0;
+        bal_nm_in_window_ = 0;
+    }
+}
+
+int
+ReferenceModel::victimWay(uint64_t set) const
+{
+    int best = -1;
+    uint64_t best_lru = ~uint64_t(0);
+    for (uint32_t w = 0; w < params_.associativity; ++w) {
+        const RefFrame &f = frames_[set * params_.associativity + w];
+        if (f.locked)
+            continue;
+        if (f.remap == kNoRemap)
+            return static_cast<int>(w);
+        if (f.lru < best_lru) {
+            best_lru = f.lru;
+            best = static_cast<int>(w);
+        }
+    }
+    return best;
+}
+
+Location
+ReferenceModel::locate(Addr paddr) const
+{
+    const uint64_t page = paddr >> kLargeBlockBits;
+    const uint32_t sub = subblockOffset(paddr);
+
+    if (isNativePage(page)) {
+        const RefFrame &f = frames_[page];
+        if (f.resident & bit(sub)) {
+            silc_assert(f.remap != kNoRemap);
+            return Location{false, fmHomeAddr(f.remap, sub)};
+        }
+        return Location{true, nmAddr(page, sub)};
+    }
+
+    auto it = where_.find(page);
+    if (it != where_.end() &&
+        (frames_[it->second].resident & bit(sub))) {
+        return Location{true, nmAddr(it->second, sub)};
+    }
+    return Location{false, fmHomeAddr(page, sub)};
+}
+
+bool
+ReferenceModel::selfCheck(std::string *why) const
+{
+    auto report = [why](const std::string &msg) {
+        if (why != nullptr)
+            *why = msg;
+        return false;
+    };
+
+    uint64_t remapped = 0;
+    for (uint64_t frame = 0; frame < frames_.size(); ++frame) {
+        const RefFrame &f = frames_[frame];
+        std::ostringstream at;
+        at << "ref frame " << frame << ": ";
+
+        if (f.remap != kNoRemap) {
+            ++remapped;
+            if (isNativePage(f.remap))
+                return report(at.str() + "remaps a native page");
+            if (f.remap % num_sets_ != frame / params_.associativity)
+                return report(at.str() + "remap maps to wrong set");
+            auto it = where_.find(f.remap);
+            if (it == where_.end() || it->second != frame)
+                return report(at.str() + "missing from page index");
+        } else if (f.resident != 0) {
+            return report(at.str() + "resident bits without remap");
+        }
+        if ((f.used & ~f.resident) != 0)
+            return report(at.str() + "used bits not resident");
+        if (f.locked && !f.native_locked && f.remap == kNoRemap)
+            return report(at.str() + "FM-locked without remap");
+        if (f.locked && f.native_locked &&
+            (f.remap != kNoRemap || f.resident != 0)) {
+            return report(at.str() + "native-locked still interleaved");
+        }
+    }
+
+    if (where_.size() != remapped) {
+        return report("ref page index size " +
+                      std::to_string(where_.size()) +
+                      " != remapped frame count " +
+                      std::to_string(remapped));
+    }
+    for (const auto &[page, frame] : where_) {
+        if (frame >= frames_.size() || frames_[frame].remap != page)
+            return report("ref page index entry stale for page " +
+                          std::to_string(page));
+    }
+    return true;
+}
+
+} // namespace check
+} // namespace silc

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Untimed reference model of SILC-FM's functional semantics.
+ *
+ * ReferenceModel re-derives, from the demand access stream alone, every
+ * piece of architectural state the paper defines: the per-frame remap
+ * entries, the 32-bit subblock residency and usage vectors, lock bits,
+ * aging counters, LRU victim ordering, the bit-vector history table,
+ * and the bandwidth-balancer bypass decision.  It deliberately shares
+ * no code with core/SilcFmPolicy: where the policy scans ways linearly,
+ * the model keeps a page->frame hash index; where the policy spreads
+ * state across component classes, the model holds one flat RefFrame
+ * array.  The differential checker (differential.hh) runs both in
+ * lockstep and cross-checks locations, counters, and full state.
+ *
+ * Timing-only machinery (the way/location predictor, DRAM traffic,
+ * metadata-channel modelling) is intentionally absent: it must never
+ * influence where a byte functionally lives.
+ */
+
+#ifndef SILC_CHECK_REFERENCE_MODEL_HH
+#define SILC_CHECK_REFERENCE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/silc_fm.hh"
+#include "policy/policy.hh"
+
+namespace silc {
+namespace check {
+
+/** Untimed mirror of one NM frame's metadata. */
+struct RefFrame
+{
+    uint64_t remap = core::kNoRemap;
+    /** FM-subblock residency mask (the policy's bv). */
+    uint32_t resident = 0;
+    /** Demanded-while-interleaved mask (the policy's used). */
+    uint32_t used = 0;
+    bool locked = false;
+    bool native_locked = false;
+    uint64_t lru = 0;
+    uint8_t nm_counter = 0;
+    uint8_t fm_counter = 0;
+    Addr first_pc = 0;
+    Addr first_addr = 0;
+    bool has_signature = false;
+};
+
+/** Functional outcome of one access, as the reference model sees it. */
+struct RefOutcome
+{
+    policy::Location serviced;
+};
+
+class ReferenceModel
+{
+  public:
+    /**
+     * @param params   the policy's configuration (architectural knobs)
+     * @param nm_bytes NM capacity in bytes
+     * @param fm_bytes FM capacity in bytes
+     */
+    ReferenceModel(const core::SilcFmParams &params, uint64_t nm_bytes,
+                   uint64_t fm_bytes);
+
+    /** Functionally execute one demand access. */
+    RefOutcome access(Addr paddr, Addr pc);
+
+    /** Current residence of the 64B block at @p paddr. */
+    policy::Location locate(Addr paddr) const;
+
+    // ---- Introspection for the differential checker. ----
+
+    const RefFrame &frame(uint64_t f) const { return frames_[f]; }
+    uint64_t frames() const { return frames_.size(); }
+    uint64_t numSets() const { return num_sets_; }
+    uint32_t associativity() const { return params_.associativity; }
+    bool bypassing() const { return bypassing_; }
+
+    uint64_t accesses() const { return accesses_; }
+    uint64_t swaps() const { return swaps_; }
+    uint64_t restores() const { return restores_; }
+    uint64_t locks() const { return locks_; }
+    uint64_t unlocks() const { return unlocks_; }
+    uint64_t historyFetched() const { return history_fetched_; }
+    uint64_t bypassed() const { return bypassed_; }
+    uint64_t allWaysLocked() const { return all_locked_; }
+    uint64_t nmServiced() const { return nm_serviced_; }
+    uint64_t fmServiced() const { return fm_serviced_; }
+
+    /**
+     * Victim way the model would choose in @p set right now (-1 when
+     * every way is locked).  Exposed so the checker can cross-check
+     * LRU/victim agreement directly.
+     */
+    int victimWay(uint64_t set) const;
+
+    /**
+     * Cross-check the model's own redundant structures (the page->frame
+     * hash index against a scan of the frame array, plus the paper's
+     * structural invariants).  Returns false and fills @p why on the
+     * first inconsistency.
+     */
+    bool selfCheck(std::string *why) const;
+
+  private:
+    static uint32_t bit(uint32_t sub) { return uint32_t(1) << sub; }
+
+    bool isNativePage(uint64_t page) const { return page < nm_pages_; }
+
+    Addr
+    nmAddr(uint64_t frame, uint32_t sub) const
+    {
+        return frame * kLargeBlockSize +
+            static_cast<Addr>(sub) * kSubblockSize;
+    }
+
+    Addr
+    fmHomeAddr(uint64_t page, uint32_t sub) const
+    {
+        return (page - nm_pages_) * kLargeBlockSize +
+            static_cast<Addr>(sub) * kSubblockSize;
+    }
+
+    uint8_t
+    satInc(uint8_t v) const
+    {
+        return v >= counter_max_ ? counter_max_
+                                 : static_cast<uint8_t>(v + 1);
+    }
+
+    /**
+     * History-table slot of a (pc, first-subblock-address) signature.
+     * The fold is part of the architecture (collisions change which
+     * vector a fetch recalls), so it must match BitVectorTable exactly.
+     */
+    uint64_t
+    historyIndex(Addr pc, Addr first_addr) const
+    {
+        uint64_t x = (pc >> 2) ^ (first_addr >> kSubblockBits);
+        x ^= x >> 17;
+        return x & history_mask_;
+    }
+
+    policy::Location accessNative(uint64_t page, uint32_t sub);
+    policy::Location accessFar(uint64_t page, uint32_t sub, Addr pc);
+
+    /** Demand swap-in of @p sub, with first-subblock history fetch. */
+    void swapIn(uint64_t frame, uint64_t fm_page, uint32_t sub, Addr pc,
+                Addr sub_addr);
+
+    /** Undo @p frame's interleave, saving its usage vector. */
+    void restoreFrame(uint64_t frame);
+
+    /** Lock @p frame for its FM page (full fetch when dense enough). */
+    void lockFrame(uint64_t frame);
+
+    void agingSweep();
+    void recordBalancer(bool serviced_from_nm);
+
+    core::SilcFmParams params_;
+    uint64_t nm_pages_;
+    uint64_t total_pages_;
+    uint64_t num_sets_;
+    uint8_t counter_max_;
+
+    std::vector<RefFrame> frames_;
+    /** Interleaved FM page -> hosting frame (redundant with frames_). */
+    std::unordered_map<uint64_t, uint64_t> where_;
+
+    std::vector<uint32_t> history_;
+    uint64_t history_mask_;
+
+    uint64_t lru_clock_ = 0;
+    bool bypassing_ = false;
+    uint64_t bal_in_window_ = 0;
+    uint64_t bal_nm_in_window_ = 0;
+
+    uint64_t accesses_ = 0;
+    uint64_t swaps_ = 0;
+    uint64_t restores_ = 0;
+    uint64_t locks_ = 0;
+    uint64_t unlocks_ = 0;
+    uint64_t history_fetched_ = 0;
+    uint64_t bypassed_ = 0;
+    uint64_t all_locked_ = 0;
+    uint64_t nm_serviced_ = 0;
+    uint64_t fm_serviced_ = 0;
+};
+
+} // namespace check
+} // namespace silc
+
+#endif // SILC_CHECK_REFERENCE_MODEL_HH

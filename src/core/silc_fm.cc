@@ -445,7 +445,6 @@ void
 SilcFmPolicy::demandAccess(Addr paddr, bool is_write, CoreId core,
                            Addr pc, policy::DemandCallback done, Tick now)
 {
-    (void)is_write;
     silc_assert(paddr < flatSpaceBytes());
 
     if (aging_.onAccess())
@@ -467,6 +466,9 @@ SilcFmPolicy::demandAccess(Addr paddr, bool is_write, CoreId core,
     balancer_.record(res.loc.in_nm);
 
     issueDemandTimed(res, set, pc, sub_addr, core, std::move(done), now);
+
+    if (observer_ != nullptr)
+        observer_->onDemandResolved(paddr, is_write, core, pc, res.loc);
 }
 
 void

@@ -33,6 +33,7 @@ ExperimentOptions::fromEnv()
     o.seed = envU64("SILC_SEED", o.seed);
     o.telemetry = envU64("SILC_TELEMETRY", o.telemetry ? 1 : 0) != 0;
     o.epoch_ticks = envU64("SILC_EPOCH_TICKS", o.epoch_ticks);
+    o.check = envU64("SILC_CHECK", o.check ? 1 : 0) != 0;
     return o;
 }
 
@@ -65,6 +66,9 @@ makeConfig(const std::string &workload, PolicyKind kind,
     cfg.pom.migration_threshold = 48;
     cfg.telemetry.enabled = opts.telemetry;
     cfg.telemetry.epoch_ticks = opts.epoch_ticks;
+    // The oracle only models SILC-FM; System fatal()s otherwise, so
+    // gate here to keep SILC_CHECK=1 usable on multi-scheme benches.
+    cfg.check = opts.check && kind == PolicyKind::SilcFm;
     return cfg;
 }
 

@@ -26,6 +26,12 @@
  *   SILC_EPOCH_TICKS - ticks per telemetry epoch (default 100000)
  *   SILC_TELEMETRY   - set to 1 to record per-run time series even
  *                      without SILC_JSON
+ *
+ * Correctness knobs (see src/check/ and TESTING.md):
+ *   SILC_CHECK       - set to 1 to run the untimed differential oracle
+ *                      in lockstep with every SILC-FM run; the process
+ *                      panics on the first divergence.  Ignored (with
+ *                      no oracle attached) for non-SILC-FM schemes.
  */
 
 #ifndef SILC_SIM_EXPERIMENT_HH
@@ -52,6 +58,8 @@ struct ExperimentOptions
 
     /** Record per-run epoch time series (SILC_TELEMETRY / SILC_JSON). */
     bool telemetry = false;
+    /** Lockstep differential oracle on SILC-FM runs (SILC_CHECK). */
+    bool check = false;
     /** Telemetry epoch length in ticks (SILC_EPOCH_TICKS). */
     uint64_t epoch_ticks = 100'000;
 

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 
+#include "check/differential.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "policy/static_random.hh"
@@ -285,6 +286,19 @@ System::System(SystemConfig cfg)
 
     if (cfg_.telemetry.enabled)
         attachTelemetry();
+
+    if (cfg_.check) {
+        if (cfg_.policy != PolicyKind::SilcFm) {
+            fatal("system: check=1 requires the silcfm policy (the "
+                  "differential oracle only models SILC-FM)");
+        }
+        auto &silc_policy = static_cast<core::SilcFmPolicy &>(*policy_);
+        check::DifferentialChecker::Options opts;
+        opts.panic_on_divergence = true;
+        checker_ = std::make_unique<check::DifferentialChecker>(
+            silc_policy, opts);
+        silc_policy.setObserver(checker_.get());
+    }
 }
 
 void
@@ -420,6 +434,11 @@ System::run()
         recorder_->finish(r.ticks);
         r.telemetry = recorder_->series();
     }
+
+    // One last deep sweep of the complete metadata state; any
+    // divergence panics (checker_ runs in panic_on_divergence mode).
+    if (checker_)
+        checker_->verifyFullState();
     return r;
 }
 

@@ -34,6 +34,11 @@
 #include "trace/generator.hh"
 
 namespace silc {
+
+namespace check {
+class DifferentialChecker;
+} // namespace check
+
 namespace sim {
 
 /** Which flat-memory organization scheme to simulate. */
@@ -97,6 +102,14 @@ struct SystemConfig
      */
     telemetry::TelemetryConfig telemetry;
 
+    /**
+     * Run the untimed differential oracle (src/check/) in lockstep
+     * with the SILC-FM policy and panic() on the first divergence.
+     * Only meaningful with policy == PolicyKind::SilcFm; roughly
+     * doubles the per-access policy cost.  Env: SILC_CHECK=1.
+     */
+    bool check = false;
+
     /** Safety cutoff. */
     Tick max_ticks = 500'000'000;
 
@@ -151,6 +164,7 @@ class System
     std::vector<std::unique_ptr<trace::TraceSource>> traces_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::unique_ptr<telemetry::Recorder> recorder_;
+    std::unique_ptr<check::DifferentialChecker> checker_;
 };
 
 /**

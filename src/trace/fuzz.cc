@@ -1,0 +1,257 @@
+#include "trace/fuzz.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace silc {
+namespace trace {
+
+const char *
+fuzzPatternName(FuzzPattern pattern)
+{
+    switch (pattern) {
+      case FuzzPattern::SetConflictStorm: return "set-conflict-storm";
+      case FuzzPattern::LockChurn: return "lock-churn";
+      case FuzzPattern::AliasedHotPages: return "aliased-hot-pages";
+      case FuzzPattern::BypassBoundary: return "bypass-boundary";
+      case FuzzPattern::MixedChaos: return "mixed-chaos";
+    }
+    return "?";
+}
+
+namespace {
+
+Addr
+subblockAddrOf(uint64_t page, uint32_t sub)
+{
+    return page * kLargeBlockSize +
+        static_cast<Addr>(sub) * kSubblockSize;
+}
+
+/** @p k-th FM page (flat id >= nm pages) mapping to @p set. */
+uint64_t
+fmPageInSet(const FuzzGeometry &g, uint64_t set, uint64_t k)
+{
+    const uint64_t sets = g.numSets();
+    const uint64_t first = g.nmPages() +
+        (set + sets - g.nmPages() % sets) % sets;
+    const uint64_t available = (g.totalPages() - first + sets - 1) / sets;
+    silc_assert(available > 0);
+    return first + (k % available) * sets;
+}
+
+Addr
+pcOf(Rng &rng)
+{
+    // A small static-instruction pool: enough collisions to make the
+    // PC-indexed history signature (history_index_by_page = false)
+    // meaningful, enough spread to exercise distinct predictor slots.
+    return 0x400000 + rng.below(16) * 0x40;
+}
+
+struct Emitter
+{
+    std::vector<FuzzAccess> out;
+    Rng &rng;
+
+    void
+    emit(uint64_t page, uint32_t sub)
+    {
+        out.push_back(FuzzAccess{subblockAddrOf(page, sub), pcOf(rng),
+                                 rng.chance(0.25)});
+    }
+};
+
+void
+genSetConflictStorm(const FuzzGeometry &g, Rng &rng, size_t length,
+                    Emitter &e)
+{
+    const uint64_t sets = g.numSets();
+    const uint32_t target_count =
+        static_cast<uint32_t>(std::min<uint64_t>(4, sets));
+    uint64_t targets[4];
+    for (uint32_t i = 0; i < target_count; ++i)
+        targets[i] = rng.below(sets);
+
+    // More contenders than ways: every allocation evicts.
+    const uint64_t aliases = g.associativity + 2;
+
+    while (e.out.size() < length) {
+        const uint64_t set = targets[rng.below(target_count)];
+        if (rng.chance(0.15)) {
+            // Hammer a native frame of the set so native pages fight
+            // the interleaves for the lock.
+            e.emit(set * g.associativity + rng.below(g.associativity),
+                   static_cast<uint32_t>(rng.below(8)));
+        } else {
+            const uint64_t k = rng.below(aliases);
+            // Clustered subblocks: per-alias offsets overlap so the
+            // same positions keep swapping between owners.
+            const uint32_t sub = static_cast<uint32_t>(
+                (k * 3 + rng.below(6)) % kSubblocksPerBlock);
+            e.emit(fmPageInSet(g, set, k), sub);
+        }
+    }
+}
+
+void
+genLockChurn(const FuzzGeometry &g, Rng &rng, size_t length, Emitter &e)
+{
+    const uint64_t sets = g.numSets();
+    uint64_t hot[3];
+    for (int i = 0; i < 3; ++i)
+        hot[i] = fmPageInSet(g, rng.below(sets), rng.below(3));
+    const uint64_t hot_native = rng.below(g.nmPages());
+
+    // Hammer long enough to cross any campaign's hot threshold, starve
+    // long enough to span several of its aging intervals.
+    const size_t hammer_len = 256;
+    const size_t starve_len = 640;
+
+    while (e.out.size() < length) {
+        for (size_t i = 0; i < hammer_len && e.out.size() < length;
+             ++i) {
+            if (rng.chance(0.2)) {
+                e.emit(hot_native, static_cast<uint32_t>(rng.below(4)));
+            } else {
+                // Dense subblock reuse drives used.count() over the
+                // lock full-fetch threshold.
+                e.emit(hot[rng.below(3)],
+                       static_cast<uint32_t>(rng.below(12)));
+            }
+        }
+        for (size_t i = 0; i < starve_len && e.out.size() < length;
+             ++i) {
+            // Cold spray: advances the aging schedule and decays the
+            // hot counters so the next sweep unlocks.
+            e.emit(g.nmPages() + rng.below(g.totalPages() - g.nmPages()),
+                   static_cast<uint32_t>(rng.below(kSubblocksPerBlock)));
+        }
+    }
+}
+
+void
+genAliasedHotPages(const FuzzGeometry &g, Rng &rng, size_t length,
+                   Emitter &e)
+{
+    const uint64_t set = rng.below(g.numSets());
+
+    // The contenders: 8 FM aliases of one set plus every native page of
+    // that set, under a strongly skewed popularity ranking.
+    std::vector<uint64_t> pages;
+    for (uint64_t k = 0; k < 8; ++k)
+        pages.push_back(fmPageInSet(g, set, k));
+    for (uint32_t w = 0; w < g.associativity; ++w)
+        pages.push_back(set * g.associativity + w);
+
+    ZipfSampler zipf(pages.size(), 1.1);
+    while (e.out.size() < length) {
+        const uint64_t page = pages[zipf.sample(rng)];
+        // Low offsets collide across aliases; the occasional high
+        // offset spreads the residency vectors.
+        const uint32_t sub = static_cast<uint32_t>(
+            rng.chance(0.8) ? rng.below(8)
+                            : rng.below(kSubblocksPerBlock));
+        e.emit(page, sub);
+    }
+}
+
+void
+genBypassBoundary(const FuzzGeometry &g, Rng &rng, size_t length,
+                  Emitter &e)
+{
+    const uint64_t sets = g.numSets();
+    const uint64_t resident = fmPageInSet(g, rng.below(sets), 0);
+    uint64_t cold_cursor = 0;
+
+    // Burst lengths deliberately mismatch the balancer window sizes the
+    // campaigns use (32..512) so bursts straddle window boundaries and
+    // the measured rate lands on both sides of the target.
+    while (e.out.size() < length) {
+        const size_t burst = 64 + rng.below(384);
+        if (rng.chance(0.5)) {
+            // NM-heavy burst: after the first touch the subblock is
+            // resident, so the service rate climbs toward 1.
+            const uint32_t sub = static_cast<uint32_t>(rng.below(4));
+            for (size_t i = 0; i < burst && e.out.size() < length; ++i)
+                e.emit(resident, sub);
+        } else {
+            // FM-heavy burst: fresh cold pages, serviced from FM.
+            for (size_t i = 0; i < burst && e.out.size() < length;
+                 ++i) {
+                const uint64_t page = g.nmPages() +
+                    (cold_cursor++ % (g.totalPages() - g.nmPages()));
+                e.emit(page, static_cast<uint32_t>(rng.below(2)));
+            }
+        }
+    }
+}
+
+void
+genMixedChaos(const FuzzGeometry &g, Rng &rng, size_t length,
+              Emitter &e)
+{
+    const uint64_t sets = g.numSets();
+    const uint64_t conflict_set = rng.below(sets);
+    uint64_t hot[16];
+    for (int i = 0; i < 16; ++i)
+        hot[i] = rng.below(g.totalPages());
+
+    while (e.out.size() < length) {
+        const uint64_t kind = rng.below(10);
+        uint64_t page;
+        if (kind < 4) {
+            page = rng.below(g.totalPages());
+        } else if (kind < 7) {
+            page = hot[rng.below(16)];
+        } else if (kind < 8) {
+            page = rng.below(g.nmPages());
+        } else {
+            page = fmPageInSet(g, conflict_set,
+                               rng.below(g.associativity + 2));
+        }
+        e.emit(page,
+               static_cast<uint32_t>(rng.below(kSubblocksPerBlock)));
+    }
+}
+
+} // namespace
+
+std::vector<FuzzAccess>
+generateAdversarialTrace(FuzzPattern pattern,
+                         const FuzzGeometry &geometry, uint64_t seed,
+                         size_t length)
+{
+    silc_assert(geometry.nmPages() > 0);
+    silc_assert(geometry.totalPages() > geometry.nmPages());
+    silc_assert(geometry.numSets() > 0);
+
+    Rng rng(seed * 0x9E3779B97F4A7C15ULL +
+            static_cast<uint64_t>(pattern));
+    Emitter e{{}, rng};
+    e.out.reserve(length);
+
+    switch (pattern) {
+      case FuzzPattern::SetConflictStorm:
+        genSetConflictStorm(geometry, rng, length, e);
+        break;
+      case FuzzPattern::LockChurn:
+        genLockChurn(geometry, rng, length, e);
+        break;
+      case FuzzPattern::AliasedHotPages:
+        genAliasedHotPages(geometry, rng, length, e);
+        break;
+      case FuzzPattern::BypassBoundary:
+        genBypassBoundary(geometry, rng, length, e);
+        break;
+      case FuzzPattern::MixedChaos:
+        genMixedChaos(geometry, rng, length, e);
+        break;
+    }
+    return e.out;
+}
+
+} // namespace trace
+} // namespace silc

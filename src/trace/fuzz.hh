@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic adversarial access-stream generation for the
+ * differential oracle (src/check/).
+ *
+ * Each pattern targets one of SILC-FM's hard state-machine corners:
+ *
+ *  - SetConflictStorm: more FM pages than ways fighting over a few
+ *    sets, forcing constant victim selection, restores, and history
+ *    saves/recalls;
+ *  - LockChurn: hot pages driven over the locking threshold, then
+ *    starved so aging sweeps unlock them, cyclically — exercising
+ *    lock/unlock, full-fetch, and locked-way victim exclusion;
+ *  - AliasedHotPages: a Zipf-skewed working set aliasing into one set
+ *    together with that set's native pages, maximising displaced-native
+ *    swap-back traffic against interleave churn;
+ *  - BypassBoundary: service-rate bursts sized to the balancer window
+ *    that toggle the bypass flag right at the target-rate comparison;
+ *  - MixedChaos: all of the above plus uniform background noise.
+ *
+ * Generators are pure functions of (pattern, geometry, seed): the same
+ * arguments always produce the same access vector, which is what makes
+ * fuzz campaigns replayable from a seed alone.
+ */
+
+#ifndef SILC_TRACE_FUZZ_HH
+#define SILC_TRACE_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace silc {
+namespace trace {
+
+/** Adversarial stream families. */
+enum class FuzzPattern
+{
+    SetConflictStorm,
+    LockChurn,
+    AliasedHotPages,
+    BypassBoundary,
+    MixedChaos,
+};
+
+constexpr uint32_t kFuzzPatternCount = 5;
+
+const char *fuzzPatternName(FuzzPattern pattern);
+
+/** One raw policy-level access (physical, 64B aligned). */
+struct FuzzAccess
+{
+    Addr paddr = 0;
+    Addr pc = 0;
+    bool is_write = false;
+};
+
+/** The memory geometry a generator aims its conflicts at. */
+struct FuzzGeometry
+{
+    uint64_t nm_bytes = 0;
+    uint64_t fm_bytes = 0;
+    uint32_t associativity = 1;
+
+    uint64_t nmPages() const { return nm_bytes / kLargeBlockSize; }
+    uint64_t
+    totalPages() const
+    {
+        return (nm_bytes + fm_bytes) / kLargeBlockSize;
+    }
+    uint64_t numSets() const { return nmPages() / associativity; }
+};
+
+/**
+ * Generate @p length accesses of @p pattern.  Deterministic in
+ * (pattern, geometry, seed).
+ */
+std::vector<FuzzAccess> generateAdversarialTrace(
+    FuzzPattern pattern, const FuzzGeometry &geometry, uint64_t seed,
+    size_t length);
+
+} // namespace trace
+} // namespace silc
+
+#endif // SILC_TRACE_FUZZ_HH

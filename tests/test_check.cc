@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the differential correctness harness (src/check/): the
+ * untimed reference model in lockstep with the live policy, the deep
+ * state sweep, the fuzz campaign machinery (generation, replay,
+ * shrinking, trace persistence), and — since the oracle currently finds
+ * no divergence in core/ — an injected-fault self-test proving that
+ * each corruption class (remap, residency bitvector, lock bit, LRU)
+ * is actually detected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "check/campaign.hh"
+#include "check/differential.hh"
+#include "common/rng.hh"
+#include "core/silc_fm.hh"
+#include "dram/dram_system.hh"
+#include "sim/system.hh"
+#include "trace/fuzz.hh"
+
+using namespace silc;
+using namespace silc::check;
+using silc::core::SilcFmParams;
+using silc::core::SilcFmPolicy;
+using silc::trace::FuzzAccess;
+using silc::trace::FuzzGeometry;
+using silc::trace::FuzzPattern;
+
+namespace {
+
+class CheckFixture : public ::testing::Test
+{
+  protected:
+    CheckFixture()
+    {
+        nm_ = std::make_unique<dram::DramSystem>(dram::hbm2Params(),
+                                                 1_MiB, events_);
+        fm_ = std::make_unique<dram::DramSystem>(dram::ddr3Params(),
+                                                 4_MiB, events_);
+        env_.nm = nm_.get();
+        env_.fm = fm_.get();
+        env_.events = &events_;
+    }
+
+    SilcFmParams
+    stormParams(uint32_t assoc)
+    {
+        SilcFmParams p;
+        p.associativity = assoc;
+        p.hot_threshold = 5;
+        p.aging_interval = 300;
+        p.bypass_window = 128;
+        p.bypass_target = 0.5;
+        p.history_min_bits = 4;
+        return p;
+    }
+
+    /**
+     * Build a policy+checker pair and drive @p n uniform random
+     * accesses through it in lockstep.
+     */
+    struct Lockstep
+    {
+        std::unique_ptr<SilcFmPolicy> policy;
+        std::unique_ptr<DifferentialChecker> checker;
+    };
+
+    Lockstep
+    makeLockstep(SilcFmParams params,
+                 DifferentialChecker::Options opts = {})
+    {
+        Lockstep l;
+        l.policy = std::make_unique<SilcFmPolicy>(env_, params);
+        l.checker =
+            std::make_unique<DifferentialChecker>(*l.policy, opts);
+        l.policy->setObserver(l.checker.get());
+        return l;
+    }
+
+    void
+    storm(Lockstep &l, uint64_t seed, int n)
+    {
+        Rng rng(seed);
+        Tick now = 0;
+        for (int i = 0; i < n; ++i) {
+            const Addr a =
+                rng.below(l.policy->flatSpaceBytes() / 64) * 64;
+            l.policy->demandAccess(a, rng.chance(0.25), 0,
+                                   0x400 + rng.below(16) * 4, nullptr,
+                                   now);
+            now += 7;
+        }
+    }
+
+    EventQueue events_;
+    std::unique_ptr<dram::DramSystem> nm_;
+    std::unique_ptr<dram::DramSystem> fm_;
+    policy::PolicyEnv env_;
+};
+
+} // namespace
+
+// ---- lockstep agreement ---------------------------------------------------
+
+TEST_F(CheckFixture, RandomStormLockstepCleanAcrossAssociativities)
+{
+    for (uint32_t assoc : {1u, 2u, 4u}) {
+        Lockstep l = makeLockstep(stormParams(assoc));
+        storm(l, 42 + assoc, 5000);
+        EXPECT_FALSE(l.checker->failed())
+            << "assoc " << assoc << ": " << l.checker->failure();
+        EXPECT_TRUE(l.checker->verifyFullState())
+            << "assoc " << assoc << ": " << l.checker->failure();
+        EXPECT_EQ(l.checker->accessesChecked(), 5000u);
+        EXPECT_GE(l.checker->sweepsRun(), 1u);
+    }
+}
+
+TEST_F(CheckFixture, FeatureCornersLockstepClean)
+{
+    // Feature flags off one at a time: the oracle must track the
+    // reduced machine, not just the full one.
+    for (int corner = 0; corner < 4; ++corner) {
+        SilcFmParams p = stormParams(2);
+        if (corner == 0) p.enable_locking = false;
+        if (corner == 1) p.enable_bypass = false;
+        if (corner == 2) p.enable_history_fetch = false;
+        if (corner == 3) p.history_entries = 256;   // force collisions
+        Lockstep l = makeLockstep(p);
+        storm(l, 1000 + corner, 4000);
+        EXPECT_TRUE(l.checker->verifyFullState())
+            << "corner " << corner << ": " << l.checker->failure();
+    }
+}
+
+TEST_F(CheckFixture, ExhaustiveLocateAgreementAfterStorm)
+{
+    Lockstep l = makeLockstep(stormParams(2));
+    storm(l, 7, 4000);
+    ASSERT_FALSE(l.checker->failed()) << l.checker->failure();
+    for (Addr a = 0; a < l.policy->flatSpaceBytes();
+         a += kSubblockSize) {
+        ASSERT_EQ(l.policy->locate(a), l.checker->reference().locate(a))
+            << "flat address 0x" << std::hex << a;
+    }
+}
+
+TEST_F(CheckFixture, AdversarialPatternsClean)
+{
+    // One short campaign per pattern family, on top of the 25 mixed
+    // campaigns the fuzz_check ctest runs.
+    for (uint32_t pat = 0; pat < trace::kFuzzPatternCount; ++pat) {
+        CampaignConfig cfg = makeCampaign(900 + pat, 3000);
+        cfg.pattern = static_cast<FuzzPattern>(pat);
+        const auto trace = trace::generateAdversarialTrace(
+            cfg.pattern, cfg.geometry, cfg.seed, cfg.accesses);
+        const auto failure = runCampaignTrace(cfg, trace);
+        EXPECT_FALSE(failure.has_value())
+            << trace::fuzzPatternName(cfg.pattern) << ": "
+            << failure->why << " at access " << failure->access_index;
+    }
+}
+
+TEST_F(CheckFixture, GeneratorsAreDeterministic)
+{
+    const CampaignConfig cfg = makeCampaign(3, 500);
+    const auto a = trace::generateAdversarialTrace(
+        cfg.pattern, cfg.geometry, cfg.seed, cfg.accesses);
+    const auto b = trace::generateAdversarialTrace(
+        cfg.pattern, cfg.geometry, cfg.seed, cfg.accesses);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].paddr, b[i].paddr);
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].is_write, b[i].is_write);
+    }
+}
+
+// ---- injected-fault self-test ---------------------------------------------
+//
+// 325 seeded campaigns (1.3M accesses) found no divergence in core/,
+// so these prove the oracle is not vacuous: corrupt the live policy's
+// metadata directly, one corruption class at a time, and require the
+// deep sweep to flag it with the right diagnosis.
+
+namespace {
+
+/** A remapped frame to corrupt (the storm guarantees one exists). */
+uint64_t
+findRemappedFrame(const SilcFmPolicy &policy)
+{
+    const core::NmMetadata &meta = policy.metadata();
+    for (uint64_t f = 0; f < meta.frames(); ++f) {
+        if (meta.meta(f).remap != core::kNoRemap)
+            return f;
+    }
+    ADD_FAILURE() << "storm left no remapped frame";
+    return 0;
+}
+
+} // namespace
+
+TEST_F(CheckFixture, DetectsRemapCorruption)
+{
+    Lockstep l = makeLockstep(stormParams(2));
+    storm(l, 11, 3000);
+    ASSERT_TRUE(l.checker->verifyFullState()) << l.checker->failure();
+
+    const uint64_t f = findRemappedFrame(*l.policy);
+    l.policy->metadataForFaultInjection().meta(f).remap += 1;
+
+    EXPECT_FALSE(l.checker->verifyFullState());
+    EXPECT_TRUE(l.checker->failed());
+    EXPECT_NE(l.checker->failure().find("remap"), std::string::npos)
+        << l.checker->failure();
+}
+
+TEST_F(CheckFixture, DetectsBitvectorCorruption)
+{
+    Lockstep l = makeLockstep(stormParams(2));
+    storm(l, 12, 3000);
+    ASSERT_TRUE(l.checker->verifyFullState()) << l.checker->failure();
+
+    const uint64_t f = findRemappedFrame(*l.policy);
+    core::WayMeta &m = l.policy->metadataForFaultInjection().meta(f);
+    // Flip one residency bit (whichever direction).
+    if (m.bv.test(13))
+        m.bv.clear(13);
+    else
+        m.bv.set(13);
+
+    EXPECT_FALSE(l.checker->verifyFullState());
+    EXPECT_NE(l.checker->failure().find("residency bitvector"),
+              std::string::npos)
+        << l.checker->failure();
+}
+
+TEST_F(CheckFixture, DetectsLockBitCorruption)
+{
+    SilcFmParams p = stormParams(2);
+    p.hot_threshold = 3;   // make locks plentiful
+    Lockstep l = makeLockstep(p);
+    storm(l, 13, 3000);
+    ASSERT_TRUE(l.checker->verifyFullState()) << l.checker->failure();
+
+    core::WayMeta &m = l.policy->metadataForFaultInjection().meta(
+        findRemappedFrame(*l.policy));
+    m.locked = !m.locked;
+
+    EXPECT_FALSE(l.checker->verifyFullState());
+    EXPECT_NE(l.checker->failure().find("lock bit"), std::string::npos)
+        << l.checker->failure();
+}
+
+TEST_F(CheckFixture, DetectsLruCorruption)
+{
+    Lockstep l = makeLockstep(stormParams(4));
+    storm(l, 14, 3000);
+    ASSERT_TRUE(l.checker->verifyFullState()) << l.checker->failure();
+
+    l.policy->metadataForFaultInjection().meta(0).lru += 1'000'000;
+
+    EXPECT_FALSE(l.checker->verifyFullState());
+    EXPECT_NE(l.checker->failure().find("LRU"), std::string::npos)
+        << l.checker->failure();
+}
+
+TEST_F(CheckFixture, LatchedFailureSticksAndStopsChecking)
+{
+    Lockstep l = makeLockstep(stormParams(2));
+    storm(l, 15, 2000);
+    l.policy->metadataForFaultInjection()
+        .meta(findRemappedFrame(*l.policy))
+        .remap += 1;
+    ASSERT_FALSE(l.checker->verifyFullState());
+    const std::string first = l.checker->failure();
+    const uint64_t checked = l.checker->accessesChecked();
+
+    // Further traffic neither clears nor replaces the latched failure.
+    storm(l, 16, 100);
+    EXPECT_TRUE(l.checker->failed());
+    EXPECT_EQ(l.checker->failure(), first);
+    EXPECT_EQ(l.checker->accessesChecked(), checked);
+}
+
+TEST_F(CheckFixture, PanicModeDiesOnDivergence)
+{
+    DifferentialChecker::Options opts;
+    opts.panic_on_divergence = true;
+    Lockstep l = makeLockstep(stormParams(2), opts);
+    storm(l, 17, 2000);
+    l.policy->metadataForFaultInjection()
+        .meta(findRemappedFrame(*l.policy))
+        .remap += 1;
+    EXPECT_DEATH(l.checker->verifyFullState(), "differential oracle");
+}
+
+// ---- campaign machinery ---------------------------------------------------
+
+TEST_F(CheckFixture, CampaignDerivationIsDeterministic)
+{
+    const CampaignConfig a = makeCampaign(99, 1000);
+    const CampaignConfig b = makeCampaign(99, 1000);
+    EXPECT_EQ(describeCampaign(a), describeCampaign(b));
+    EXPECT_EQ(a.params.associativity, b.params.associativity);
+    EXPECT_EQ(a.pattern, b.pattern);
+}
+
+TEST_F(CheckFixture, ShrinkTraceFindsMinimalPair)
+{
+    // Synthetic oracle: the "failure" needs accesses A then B in order.
+    const Addr A = 0x1000, B = 0x2000;
+    std::vector<FuzzAccess> trace;
+    Rng rng(5);
+    for (int i = 0; i < 60; ++i)
+        trace.push_back(FuzzAccess{0x40 * (rng.below(64) + 100), 0, false});
+    trace.insert(trace.begin() + 20, FuzzAccess{A, 0, false});
+    trace.insert(trace.begin() + 45, FuzzAccess{B, 0, false});
+
+    auto fails = [&](const std::vector<FuzzAccess> &t) {
+        bool seen_a = false;
+        for (const FuzzAccess &acc : t) {
+            if (acc.paddr == A)
+                seen_a = true;
+            if (acc.paddr == B && seen_a)
+                return true;
+        }
+        return false;
+    };
+    ASSERT_TRUE(fails(trace));
+
+    const auto minimal = shrinkTrace(trace, fails);
+    ASSERT_EQ(minimal.size(), 2u);
+    EXPECT_EQ(minimal[0].paddr, A);
+    EXPECT_EQ(minimal[1].paddr, B);
+}
+
+TEST_F(CheckFixture, FuzzTraceRoundTripsThroughFile)
+{
+    const CampaignConfig cfg = makeCampaign(21, 300);
+    const auto trace = trace::generateAdversarialTrace(
+        cfg.pattern, cfg.geometry, cfg.seed, cfg.accesses);
+
+    const std::string path = "check_roundtrip.silctrace";
+    writeFuzzTrace(path, trace);
+    const auto loaded = loadFuzzTrace(path);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(loaded[i].paddr, trace[i].paddr);
+        EXPECT_EQ(loaded[i].pc, trace[i].pc);
+        EXPECT_EQ(loaded[i].is_write, trace[i].is_write);
+    }
+}
+
+TEST_F(CheckFixture, ReplayedCampaignTraceStaysClean)
+{
+    const CampaignConfig cfg = makeCampaign(33, 1500);
+    const auto trace = trace::generateAdversarialTrace(
+        cfg.pattern, cfg.geometry, cfg.seed, cfg.accesses);
+    const std::string path = "check_replay.silctrace";
+    writeFuzzTrace(path, trace);
+    const auto loaded = loadFuzzTrace(path);
+    std::remove(path.c_str());
+    EXPECT_FALSE(runCampaignTrace(cfg, loaded).has_value());
+}
+
+// ---- System integration ---------------------------------------------------
+
+TEST(CheckSystem, FullSystemRunsCleanUnderOracle)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::defaults();
+    cfg.cores = 2;
+    cfg.instructions_per_core = 40'000;
+    cfg.nm_bytes = 1_MiB;
+    cfg.fm_bytes = 4_MiB;
+    cfg.policy = sim::PolicyKind::SilcFm;
+    cfg.silc.aging_interval = 2'000;
+    cfg.silc.hot_threshold = 8;
+    cfg.check = true;
+    sim::System system(cfg);
+    const sim::SimResult r = system.run();   // panics on divergence
+    EXPECT_GT(r.ipc, 0.0);
+}
+
+TEST(CheckSystem, CheckWithOtherPolicyIsFatal)
+{
+    sim::SystemConfig cfg = sim::SystemConfig::defaults();
+    cfg.policy = sim::PolicyKind::Cameo;
+    cfg.check = true;
+    EXPECT_DEATH(sim::System{cfg}, "silcfm");
+}

@@ -87,10 +87,13 @@ Tick
 demand(FlatMemoryPolicy &policy, Addr a, Tick now, CoreId core = 0,
        Addr pc = 0x400)
 {
-    Tick done = kTickNever;
+    // The completion callback outlives this frame (it fires from the
+    // DRAM event path during drain()), so the landing slot must be
+    // owned by the callback, not a captured stack local.
+    auto done = std::make_shared<Tick>(kTickNever);
     policy.demandAccess(a, false, core, pc,
-                        [&](Tick t) { done = t; }, now);
-    return done;
+                        [done](Tick t) { *done = t; }, now);
+    return *done;
 }
 
 } // namespace

@@ -9,7 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <deque>
 #include <functional>
+#include <vector>
 
 #include "common/event_queue.hh"
 #include "common/rng.hh"
@@ -210,6 +212,162 @@ BM_EventScheduleStdFunction(benchmark::State &state)
         static_cast<double>(q.executed()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EventScheduleStdFunction);
+
+/**
+ * The old FR-FCFS pick: std::deque keyed queue, erase from the middle.
+ * Kept as the baseline for BM_FrFcfsPickArena — the erase shifts
+ * everything behind the picked element.
+ */
+static void
+BM_FrFcfsPickDequeErase(benchmark::State &state)
+{
+    const size_t depth = static_cast<size_t>(state.range(0));
+    std::deque<uint64_t> q;
+    Rng rng(7);
+    uint64_t next_id = 0;
+    for (size_t i = 0; i < depth; ++i)
+        q.push_back(next_id++);
+    for (auto _ : state) {
+        (void)_;
+        // Pick from the middle (a row hit deep in the window), erase,
+        // refill at the tail — the steady state of a saturated channel.
+        const size_t pick = rng.below(q.size());
+        benchmark::DoNotOptimize(q[pick]);
+        q.erase(q.begin() + static_cast<ptrdiff_t>(pick));
+        q.push_back(next_id++);
+    }
+}
+BENCHMARK(BM_FrFcfsPickDequeErase)->Arg(8)->Arg(32)->Arg(128);
+
+/**
+ * The replacement: request arena with an intrusive singly-linked FIFO.
+ * The pick unlinks in O(1) once found; the freed slot is recycled.
+ */
+static void
+BM_FrFcfsPickArena(benchmark::State &state)
+{
+    const size_t depth = static_cast<size_t>(state.range(0));
+    std::vector<uint64_t> slots;
+    std::vector<uint32_t> next;
+    constexpr uint32_t kNull = ~uint32_t(0);
+    uint32_t head = kNull, tail = kNull, free_head = kNull;
+    size_t count = 0;
+    uint64_t next_id = 0;
+    auto push = [&](uint64_t v) {
+        uint32_t idx;
+        if (free_head != kNull) {
+            idx = free_head;
+            free_head = next[idx];
+            slots[idx] = v;
+        } else {
+            idx = static_cast<uint32_t>(slots.size());
+            slots.push_back(v);
+            next.push_back(kNull);
+        }
+        next[idx] = kNull;
+        if (tail == kNull)
+            head = idx;
+        else
+            next[tail] = idx;
+        tail = idx;
+        ++count;
+    };
+    Rng rng(8);
+    for (size_t i = 0; i < depth; ++i)
+        push(next_id++);
+    for (auto _ : state) {
+        (void)_;
+        // Walk to a random window position (the FR-FCFS scan), unlink.
+        const size_t target = rng.below(count);
+        uint32_t prev = kNull, i = head;
+        for (size_t n = 0; n < target; ++n) {
+            prev = i;
+            i = next[i];
+        }
+        benchmark::DoNotOptimize(slots[i]);
+        if (prev == kNull)
+            head = next[i];
+        else
+            next[prev] = next[i];
+        if (tail == i)
+            tail = prev;
+        --count;
+        next[i] = free_head;
+        free_head = i;
+        push(next_id++);
+    }
+}
+BENCHMARK(BM_FrFcfsPickArena)->Arg(8)->Arg(32)->Arg(128);
+
+/**
+ * A saturated channel controller end to end: queues never empty, one
+ * scan per memory cycle.  Counter "issues/sec" is the scheduling
+ * throughput the event-driven rework targets.
+ */
+static void
+BM_ControllerSaturatedScan(benchmark::State &state)
+{
+    dram::DramTimingParams p = dram::ddr3Params();
+    p.t_refi = 0;
+    EventQueue events;
+    dram::ChannelController ctrl(p, events);
+    Rng rng(9);
+    const uint32_t banks = static_cast<uint32_t>(ctrl.numBanks());
+    Tick now = 0;
+    const Tick step = p.toTicks(1);
+    Addr a = 0;
+    for (auto _ : state) {
+        (void)_;
+        while (ctrl.queuedRequests() < p.queue_depth) {
+            dram::DecodedRequest dec;
+            dec.req.addr = (a += kSubblockSize);
+            dec.req.is_write = rng.below(4) == 0;
+            dec.req.traffic = dec.req.is_write
+                ? dram::TrafficClass::Writeback
+                : dram::TrafficClass::Demand;
+            dec.bank = static_cast<uint32_t>(rng.below(banks));
+            dec.row = static_cast<int64_t>(rng.below(8));
+            ctrl.enqueue(std::move(dec), now);
+        }
+        ctrl.scan(now);
+        events.runDue(now);
+        now += step;
+    }
+    state.counters["issues/sec"] = benchmark::Counter(
+        static_cast<double>(ctrl.readsServed() + ctrl.writesServed()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ControllerSaturatedScan);
+
+/**
+ * scheduleCancellable + cancel churn: the cancel/re-arm pattern an
+ * event-driven wakeup consumer would generate at worst case (every
+ * armed deadline superseded before it fires).  Tombstones are lazy, so
+ * the cost to beat is one hash insert/erase per cancel.
+ */
+static void
+BM_EventCancelRearm(benchmark::State &state)
+{
+    EventQueue q;
+    uint64_t sink = 0;
+    Tick now = 0;
+    for (auto _ : state) {
+        (void)_;
+        EventId id = q.scheduleCancellable(
+            now + 100, [&sink](Tick t) { sink += t; });
+        for (int i = 0; i < 4; ++i) {
+            q.cancel(id);
+            id = q.scheduleCancellable(
+                now + 10 + i, [&sink](Tick t) { sink += t; });
+        }
+        now += 16;
+        q.runDue(now);
+    }
+    benchmark::DoNotOptimize(sink);
+    state.counters["cancels/sec"] = benchmark::Counter(
+        static_cast<double>(q.cancelled()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventCancelRearm);
 
 static void
 BM_DramDecode(benchmark::State &state)

@@ -26,6 +26,7 @@ Cache::Cache(CacheParams params)
     params_.validate();
     num_sets_ = params_.numSets();
     line_shift_ = floorLog2(params_.line_bytes);
+    set_bits_ = floorLog2(num_sets_);
     lines_.assign(num_sets_ * params_.associativity, Line{});
 }
 
@@ -38,13 +39,13 @@ Cache::setIndex(Addr addr) const
 Addr
 Cache::tagOf(Addr addr) const
 {
-    return addr >> line_shift_ >> floorLog2(num_sets_);
+    return addr >> line_shift_ >> set_bits_;
 }
 
 Addr
 Cache::lineAddr(Addr tag, uint64_t set) const
 {
-    return ((tag << floorLog2(num_sets_)) | set) << line_shift_;
+    return ((tag << set_bits_) | set) << line_shift_;
 }
 
 Cache::Line *
@@ -69,26 +70,44 @@ Cache::findLine(Addr tag, uint64_t set) const
     return nullptr;
 }
 
+Cache::Line *
+Cache::scanSet(Addr tag, uint64_t set, Line **invalid_out,
+               Line **lru_out)
+{
+    // One pass per lookup: the matching line if present, plus the first
+    // invalid way (the preferred victim) and the LRU-minimum way for the
+    // miss path — access() and fill() used to walk the set once to find
+    // the line and again to pick a victim.  The LRU minimum runs over
+    // every way regardless of validity; it is only consulted when no
+    // invalid way exists, in which case the two sets coincide.
+    Line *base = &lines_[set * params_.associativity];
+    Line *invalid = nullptr;
+    Line *lru_min = base;
+    for (uint32_t w = 0; w < params_.associativity; ++w) {
+        if (base[w].valid) {
+            if (base[w].tag == tag)
+                return &base[w];
+        } else if (invalid == nullptr) {
+            invalid = &base[w];
+        }
+        if (base[w].lru < lru_min->lru)
+            lru_min = &base[w];
+    }
+    *invalid_out = invalid;
+    *lru_out = lru_min;
+    return nullptr;
+}
+
 Cache::Line &
 Cache::victimLine(uint64_t set)
 {
+    // Only reached for Random replacement when every way is valid
+    // (scanSet() hands the miss path an invalid way or the LRU minimum
+    // first).
     Line *base = &lines_[set * params_.associativity];
-    // Prefer an invalid way.
-    for (uint32_t w = 0; w < params_.associativity; ++w) {
-        if (!base[w].valid)
-            return base[w];
-    }
-    if (params_.replacement == Replacement::Random) {
-        // Deterministic round-robin pseudo-random victim.
-        rr_victim_ = (rr_victim_ + 1) % params_.associativity;
-        return base[rr_victim_];
-    }
-    Line *victim = base;
-    for (uint32_t w = 1; w < params_.associativity; ++w) {
-        if (base[w].lru < victim->lru)
-            victim = &base[w];
-    }
-    return *victim;
+    // Deterministic round-robin pseudo-random victim.
+    rr_victim_ = (rr_victim_ + 1) % params_.associativity;
+    return base[rr_victim_];
 }
 
 AccessOutcome
@@ -98,7 +117,9 @@ Cache::access(Addr addr, bool is_write)
     const Addr tag = tagOf(addr);
     AccessOutcome out;
 
-    if (Line *line = findLine(tag, set)) {
+    Line *invalid = nullptr;
+    Line *lru_min = nullptr;
+    if (Line *line = scanSet(tag, set, &invalid, &lru_min)) {
         ++hits_;
         out.hit = true;
         line->lru = ++lru_clock_;
@@ -108,7 +129,9 @@ Cache::access(Addr addr, bool is_write)
     }
 
     ++misses_;
-    Line &victim = victimLine(set);
+    Line &victim = invalid            ? *invalid
+        : params_.replacement == Replacement::Lru ? *lru_min
+                                                  : victimLine(set);
     if (victim.valid) {
         ++evictions_;
         if (victim.dirty) {
@@ -131,14 +154,18 @@ Cache::fill(Addr addr, bool dirty)
     const Addr tag = tagOf(addr);
     AccessOutcome out;
 
-    if (Line *line = findLine(tag, set)) {
+    Line *invalid = nullptr;
+    Line *lru_min = nullptr;
+    if (Line *line = scanSet(tag, set, &invalid, &lru_min)) {
         out.hit = true;
         if (dirty)
             line->dirty = true;
         return out;
     }
 
-    Line &victim = victimLine(set);
+    Line &victim = invalid            ? *invalid
+        : params_.replacement == Replacement::Lru ? *lru_min
+                                                  : victimLine(set);
     if (victim.valid) {
         ++evictions_;
         if (victim.dirty) {
@@ -152,6 +179,19 @@ Cache::fill(Addr addr, bool dirty)
     victim.dirty = dirty;
     victim.lru = ++lru_clock_;
     return out;
+}
+
+bool
+Cache::accessIfHit(Addr addr, bool is_write)
+{
+    Line *line = findLine(tagOf(addr), setIndex(addr));
+    if (line == nullptr)
+        return false;
+    ++hits_;
+    line->lru = ++lru_clock_;
+    if (is_write)
+        line->dirty = true;
+    return true;
 }
 
 bool

@@ -70,6 +70,14 @@ class Cache
     AccessOutcome access(Addr addr, bool is_write);
 
     /**
+     * Hit-only access: on a hit, update LRU/dirty and count it exactly
+     * like access(); on a miss, leave the cache (and the miss counter)
+     * untouched and return false.  Fuses the probe()+access() pair on
+     * the hierarchy's hit path into one set scan.
+     */
+    bool accessIfHit(Addr addr, bool is_write);
+
+    /**
      * Fill the line containing @p addr without touching hit statistics —
      * used to install prefetched or migrated data.
      */
@@ -117,6 +125,11 @@ class Cache
 
     Line *findLine(Addr tag, uint64_t set);
     const Line *findLine(Addr tag, uint64_t set) const;
+    /** Find @p tag in @p set; on miss, also report the first invalid way
+     *  and the least-recently-used way (the LRU victim when every way is
+     *  valid). */
+    Line *scanSet(Addr tag, uint64_t set, Line **invalid_out,
+                  Line **lru_out);
     Line &victimLine(uint64_t set);
 
     uint64_t setIndex(Addr addr) const;
@@ -126,6 +139,7 @@ class Cache
     CacheParams params_;
     uint64_t num_sets_;
     uint32_t line_shift_;
+    uint32_t set_bits_;
     std::vector<Line> lines_;
     uint64_t lru_clock_ = 0;
     uint64_t rr_victim_ = 0;

@@ -1,5 +1,7 @@
 #include "cache/mshr.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace silc {
@@ -10,6 +12,63 @@ MshrFile::MshrFile(uint32_t capacity, uint32_t per_core_capacity)
 {
     silc_assert(capacity_ > 0);
     silc_assert(per_core_capacity_ > 0);
+
+    // Keep the load factor at or below one half so linear probe chains
+    // stay short and an empty slot always terminates a lookup.
+    size_t n = 4;
+    while (n < 2 * static_cast<size_t>(capacity_))
+        n <<= 1;
+    slots_.resize(n);
+    mask_ = n - 1;
+}
+
+MshrFile::Slot *
+MshrFile::findSlot(Addr addr)
+{
+    size_t i = homeOf(addr);
+    while (slots_[i].addr != kAddrInvalid) {
+        if (slots_[i].addr == addr)
+            return &slots_[i];
+        i = (i + 1) & mask_;
+    }
+    return nullptr;
+}
+
+const MshrFile::Slot *
+MshrFile::findSlot(Addr addr) const
+{
+    size_t i = homeOf(addr);
+    while (slots_[i].addr != kAddrInvalid) {
+        if (slots_[i].addr == addr)
+            return &slots_[i];
+        i = (i + 1) & mask_;
+    }
+    return nullptr;
+}
+
+void
+MshrFile::removeSlot(size_t i)
+{
+    // Backward-shift deletion (Knuth 6.4 algorithm R): pull every
+    // displaced element of the probe chain one hole closer to its home
+    // so lookups never need tombstones.
+    size_t hole = i;
+    size_t j = i;
+    for (;;) {
+        j = (j + 1) & mask_;
+        Slot &s = slots_[j];
+        if (s.addr == kAddrInvalid)
+            break;
+        const size_t home = homeOf(s.addr);
+        if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+            slots_[hole] = std::move(s);
+            hole = j;
+        }
+    }
+    Slot &h = slots_[hole];
+    h.addr = kAddrInvalid;
+    h.first = nullptr;
+    h.more.clear();
 }
 
 MshrAllocation
@@ -17,23 +76,29 @@ MshrFile::allocate(Addr block_addr, CoreId core, MissCallback cb)
 {
     silc_assert(block_addr == subblockAddr(block_addr));
 
-    auto it = entries_.find(block_addr);
-    if (it != entries_.end()) {
-        it->second.waiters.push_back(std::move(cb));
+    if (Slot *slot = findSlot(block_addr)) {
+        slot->more.push_back(std::move(cb));
         ++coalesced_;
         return MshrAllocation::Coalesced;
     }
 
-    if (entries_.size() >= capacity_ ||
+    if (count_ >= capacity_ ||
         outstandingFor(core) >= per_core_capacity_) {
         ++rejections_;
         return MshrAllocation::NoCapacity;
     }
 
-    Entry entry;
-    entry.owner = core;
-    entry.waiters.push_back(std::move(cb));
-    entries_.emplace(block_addr, std::move(entry));
+    size_t i = homeOf(block_addr);
+    while (slots_[i].addr != kAddrInvalid)
+        i = (i + 1) & mask_;
+    Slot &slot = slots_[i];
+    slot.addr = block_addr;
+    slot.owner = core;
+    slot.first = std::move(cb);
+    ++count_;
+
+    if (core >= per_core_.size())
+        per_core_.resize(core + 1, 0);
     ++per_core_[core];
     return MshrAllocation::Primary;
 }
@@ -41,50 +106,46 @@ MshrFile::allocate(Addr block_addr, CoreId core, MissCallback cb)
 void
 MshrFile::addWaiter(Addr block_addr, MissCallback cb)
 {
-    auto it = entries_.find(block_addr);
-    if (it == entries_.end())
+    Slot *slot = findSlot(block_addr);
+    if (slot == nullptr)
         panic("addWaiter on missing MSHR entry");
-    it->second.waiters.push_back(std::move(cb));
-}
-
-bool
-MshrFile::outstanding(Addr block_addr) const
-{
-    return entries_.count(block_addr) != 0;
+    slot->more.push_back(std::move(cb));
 }
 
 size_t
 MshrFile::complete(Addr block_addr, Tick now)
 {
-    auto it = entries_.find(block_addr);
-    if (it == entries_.end())
+    Slot *slot = findSlot(block_addr);
+    if (slot == nullptr)
         panic("completing unknown MSHR entry");
 
-    // Move the entry out before firing waiters: a waiter may allocate a
-    // new miss for the same block.
-    Entry entry = std::move(it->second);
-    entries_.erase(it);
-    auto core_it = per_core_.find(entry.owner);
-    silc_assert(core_it != per_core_.end() && core_it->second > 0);
-    --core_it->second;
+    // Move the waiters out before freeing the slot: a waiter may
+    // allocate a new miss for the same block.
+    const CoreId owner = slot->owner;
+    MissCallback first = std::move(slot->first);
+    std::vector<MissCallback> more = std::move(slot->more);
+    removeSlot(static_cast<size_t>(slot - slots_.data()));
+    --count_;
 
-    for (auto &waiter : entry.waiters)
+    silc_assert(owner < per_core_.size() && per_core_[owner] > 0);
+    --per_core_[owner];
+
+    first(now);
+    for (auto &waiter : more)
         waiter(now);
-    return entry.waiters.size();
-}
-
-uint32_t
-MshrFile::outstandingFor(CoreId core) const
-{
-    auto it = per_core_.find(core);
-    return it == per_core_.end() ? 0 : it->second;
+    return 1 + more.size();
 }
 
 void
 MshrFile::reset()
 {
-    entries_.clear();
-    per_core_.clear();
+    for (Slot &s : slots_) {
+        s.addr = kAddrInvalid;
+        s.first = nullptr;
+        s.more.clear();
+    }
+    count_ = 0;
+    per_core_.assign(per_core_.size(), 0);
     coalesced_ = 0;
     rejections_ = 0;
 }

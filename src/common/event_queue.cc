@@ -27,8 +27,25 @@ EventQueue::schedule(Tick when, EventCallback cb)
     std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
+EventId
+EventQueue::scheduleCancellable(Tick when, EventCallback cb)
+{
+    const EventId id = next_seq_;
+    schedule(when, std::move(cb));
+    return id;
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    if (id == kEventIdInvalid)
+        return;
+    tombstones_.insert(id);
+    ++cancelled_total_;
+}
+
 size_t
-EventQueue::runDue(Tick now)
+EventQueue::runDueSlow(Tick now)
 {
     last_run_tick_ = now;
     size_t count = 0;
@@ -36,6 +53,8 @@ EventQueue::runDue(Tick now)
         std::pop_heap(heap_.begin(), heap_.end(), Later{});
         Entry entry = std::move(heap_.back());
         heap_.pop_back();
+        if (!tombstones_.empty() && tombstones_.erase(entry.seq) != 0)
+            continue;
         entry.cb(entry.when);
         ++count;
         ++executed_;
@@ -53,6 +72,7 @@ void
 EventQueue::clear()
 {
     heap_.clear();
+    tombstones_.clear();
     last_run_tick_ = 0;
 }
 

@@ -12,6 +12,8 @@ Core::Core(CoreId id, CoreParams params, trace::TraceSource &trace,
     silc_assert(params_.rob_entries > 0);
     silc_assert(params_.width > 0);
     rob_.resize(params_.rob_entries);
+    if (isPowerOf2(params_.rob_entries))
+        rob_mask_ = params_.rob_entries - 1;
 }
 
 void
@@ -21,6 +23,8 @@ Core::onLoadComplete(uint64_t seq, Tick when)
     // ready_tick is kTickNever.
     silc_assert(seq >= head_seq_ && seq < tail_seq_);
     slot(seq).ready_tick = when;
+    if (seq == head_seq_)
+        stall_until_ = 0;
 }
 
 void
@@ -28,6 +32,15 @@ Core::tick(Tick now)
 {
     if (done())
         return;
+
+    // Fully stalled: ROB full behind an unready head.  The full logic
+    // below would do exactly this pair of increments and nothing else,
+    // so skip it until the head can retire (see stall_until_).
+    if (stall_until_ > now) {
+        ++retire_stalls_;
+        ++rob_full_cycles_;
+        return;
+    }
 
     // ---- Retire: up to `width` ready instructions, in order. ----
     uint32_t retired_now = 0;
@@ -103,6 +116,14 @@ Core::tick(Tick now)
         staged_.reset();
         ++dispatched_;
         ++dispatched_now;
+    }
+
+    // Detect the fully-stalled state for the fast path above.  A
+    // kTickNever head (load still in flight) is fine: onLoadComplete
+    // resets stall_until_ the moment the head's data returns.
+    if (tail_seq_ - head_seq_ >= params_.rob_entries &&
+        slot(head_seq_).ready_tick > now) {
+        stall_until_ = slot(head_seq_).ready_tick;
     }
 }
 

@@ -104,6 +104,21 @@ class Core
         return static_cast<uint32_t>(tail_seq_ - head_seq_);
     }
 
+    /**
+     * While this is above the current tick, tick() is exactly the
+     * counters-only stall path (see stall_until_): the main loop may
+     * fast-forward such cycles wholesale via addStalledCycles().
+     */
+    Tick stallUntil() const { return stall_until_; }
+
+    /** Account @p n skipped fully-stalled cycles (see System::run). */
+    void
+    addStalledCycles(uint64_t n)
+    {
+        retire_stalls_ += n;
+        rob_full_cycles_ += n;
+    }
+
   private:
     struct RobEntry
     {
@@ -112,7 +127,10 @@ class Core
 
     RobEntry &slot(uint64_t seq)
     {
-        return rob_[seq % params_.rob_entries];
+        // ROB sizes are powers of two in practice; masking avoids a
+        // 64-bit divide on the hottest accessor in the simulator.
+        return rob_[rob_mask_ != 0 ? (seq & rob_mask_)
+                                   : (seq % params_.rob_entries)];
     }
 
     void onLoadComplete(uint64_t seq, Tick when);
@@ -123,8 +141,20 @@ class Core
     MemoryPort &port_;
 
     std::vector<RobEntry> rob_;
+    uint64_t rob_mask_ = 0;
     uint64_t head_seq_ = 0;
     uint64_t tail_seq_ = 0;
+
+    /**
+     * Fully-stalled fast path: while the ROB is full and the head is not
+     * ready, every cycle is exactly "count a retire stall and a ROB-full
+     * stall" — no retire, no fetch, no dispatch.  When tick() detects
+     * that state it records the head's ready tick here and subsequent
+     * ticks take the counters-only path until the head can retire.
+     * onLoadComplete() clears it when the head's load returns, so a
+     * kTickNever in-flight head cannot park the core forever.
+     */
+    Tick stall_until_ = 0;
 
     /** Instruction fetched but not yet dispatched (resource stall). */
     std::optional<trace::TraceInstruction> staged_;

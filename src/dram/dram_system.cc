@@ -1,5 +1,7 @@
 #include "dram/dram_system.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "telemetry/sampler.hh"
 
@@ -22,6 +24,8 @@ DramSystem::DramSystem(DramTimingParams params, uint64_t capacity,
     for (uint32_t c = 0; c < params_.channels; ++c)
         channels_.push_back(std::make_unique<ChannelController>(
             params_, events_, &read_delay_hist_));
+    for (const auto &ch : channels_)
+        next_scan_min_ = std::min(next_scan_min_, ch->nextScanAt());
 }
 
 AddressDecode
@@ -73,16 +77,36 @@ DramSystem::issue(DramRequest req, Tick now)
     dec.bank = d.bank;
     dec.row = d.row;
     dec.req = std::move(req);
-    channels_[d.channel]->enqueue(std::move(dec), now);
+    ChannelController &ch = *channels_[d.channel];
+    ch.enqueue(std::move(dec), now);
+
+    // Make sure the channel is scanned exactly when the polled design
+    // would have scanned it: the current cycle's DRAM phase if that is
+    // still ahead of us (cores tick before memory in the main loop),
+    // else the next memory-cycle boundary.
+    const Tick step = params_.cpu_cycles_per_mem_cycle;
+    const Tick rem = now % step;
+    Tick scan_at;
+    if (rem == 0)
+        scan_at = tick_seen_ != now ? now : now + step;
+    else
+        scan_at = now + (step - rem);
+    ch.requestScanAt(scan_at);
+    next_scan_min_ = std::min(next_scan_min_, scan_at);
 }
 
 void
-DramSystem::tick(Tick now)
+DramSystem::scanDue(Tick now)
 {
-    if (now % params_.cpu_cycles_per_mem_cycle != 0)
-        return;
-    for (auto &ch : channels_)
-        ch->tick(now);
+    // Ascending channel order, matching the old polled loop, so
+    // completion events keep their insertion-order tie-breaking.
+    Tick m = kTickNever;
+    for (auto &ch : channels_) {
+        if (now >= ch->nextScanAt())
+            ch->scan(now);
+        m = std::min(m, ch->nextScanAt());
+    }
+    next_scan_min_ = m;
 }
 
 bool
@@ -119,6 +143,24 @@ DramSystem::activations() const
     uint64_t s = 0;
     for (const auto &ch : channels_)
         s += ch->activations();
+    return s;
+}
+
+uint64_t
+DramSystem::refreshes() const
+{
+    uint64_t s = 0;
+    for (const auto &ch : channels_)
+        s += ch->refreshes();
+    return s;
+}
+
+uint64_t
+DramSystem::bgPromotions() const
+{
+    uint64_t s = 0;
+    for (const auto &ch : channels_)
+        s += ch->bgPromotions();
     return s;
 }
 
@@ -234,6 +276,10 @@ DramSystem::reset()
     read_delay_hist_.reset();
     traffic_ = TrafficBytes{};
     issued_requests_ = 0;
+    next_scan_min_ = kTickNever;
+    for (const auto &ch : channels_)
+        next_scan_min_ = std::min(next_scan_min_, ch->nextScanAt());
+    tick_seen_ = kTickNever;
 }
 
 } // namespace dram

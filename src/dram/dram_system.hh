@@ -89,11 +89,34 @@ class DramSystem
     /** Issue a request at tick @p now. */
     void issue(DramRequest req, Tick now);
 
-    /** Advance to CPU tick @p now (internally clock-divided). */
-    void tick(Tick now);
+    /**
+     * Advance to CPU tick @p now.  Event-driven: channels arm a wakeup
+     * register with their next actionable tick (see ChannelController),
+     * so this is one comparison against the device-wide minimum unless
+     * some channel's wakeup is due.  Due channels are scanned here, in
+     * the same loop phase the polled design used, so issued-command
+     * order is unchanged.
+     *
+     * Inline fast path: called every CPU cycle from the main loop.
+     */
+    void
+    tick(Tick now)
+    {
+        tick_seen_ = now;
+        if (now < next_scan_min_)
+            return;
+        scanDue(now);
+    }
 
     /** True when all channel queues are empty. */
     bool idle() const;
+
+    /**
+     * Earliest tick at which any channel could act (kTickNever when no
+     * work or deadline is pending).  Ticks strictly before this are
+     * no-ops, so the main loop may fast-forward across them.
+     */
+    Tick nextWakeTick() const { return next_scan_min_; }
 
     const DramTimingParams &params() const { return params_; }
     uint64_t capacity() const { return capacity_; }
@@ -113,8 +136,12 @@ class DramSystem
     uint64_t rowHits() const;
     uint64_t rowMisses() const;
     uint64_t activations() const;
+    uint64_t refreshes() const;
     uint64_t readsServed() const;
     uint64_t writesServed() const;
+
+    /** Background reads promoted past demand traffic by the aging bound. */
+    uint64_t bgPromotions() const;
 
     /** Mean read queueing delay in CPU ticks. */
     double avgReadQueueDelay() const;
@@ -149,7 +176,16 @@ class DramSystem
     /** Clear all queues, bank state and statistics. */
     void reset();
 
+    /** Per-channel access for tests (wakeup-oracle introspection). */
+    const ChannelController &channel(size_t i) const
+    {
+        return *channels_[i];
+    }
+
   private:
+    /** Slow path of tick(): scan every due channel in index order. */
+    void scanDue(Tick now);
+
     DramTimingParams params_;
     uint64_t capacity_;
     EventQueue &events_;
@@ -157,6 +193,11 @@ class DramSystem
     std::vector<std::unique_ptr<ChannelController>> channels_;
     TrafficBytes traffic_;
     uint64_t issued_requests_ = 0;
+    /** Minimum of the channels' wakeup registers (may run stale-early:
+     *  scanDue() recomputes it; a too-low value only costs a no-op pass). */
+    Tick next_scan_min_ = kTickNever;
+    /** Last tick() cycle, to place same-cycle enqueues (see issue()). */
+    Tick tick_seen_ = kTickNever;
 };
 
 } // namespace dram

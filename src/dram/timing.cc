@@ -32,6 +32,8 @@ DramTimingParams::validate() const
         fatal("%s: zero clock divider", name.c_str());
     if (t_cas == 0 || t_rcd == 0 || t_rp == 0 || t_ras == 0)
         fatal("%s: zero core timing parameter", name.c_str());
+    if (queue_depth == 0)
+        fatal("%s: zero queue depth", name.c_str());
 }
 
 DramTimingParams

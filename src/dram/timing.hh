@@ -66,6 +66,16 @@ struct DramTimingParams
     /** Read/write queue capacity per channel (Table II: 32). */
     uint32_t queue_depth = 32;
 
+    /**
+     * Aging bound for background (migration/swap) reads, in memory
+     * cycles: one waiting longer than this is promoted ahead of demand
+     * traffic so sustained demand+writeback load cannot starve
+     * relocation.  0 disables promotion.  The default is generous — a
+     * fairness backstop, not a scheduling knob — so steady-state
+     * schedules are unchanged unless starvation actually occurs.
+     */
+    uint32_t bg_max_wait_mem_cycles = 4096;
+
     /** CPU cycles per memory (command) cycle; 3.2 GHz / 800 MHz = 4. */
     uint32_t cpu_cycles_per_mem_cycle = 4;
 

@@ -54,6 +54,7 @@ class HmaPolicy : public FlatMemoryPolicy
                       DemandCallback done, Tick now) override;
     Location locate(Addr paddr) const override;
     void tick(Tick now) override;
+    Tick nextWakeTick() const override { return next_epoch_; }
 
     uint64_t epochs() const { return epochs_; }
     uint64_t pagesMigrated() const { return pages_migrated_; }

@@ -94,6 +94,13 @@ class FlatMemoryPolicy
     virtual void tick(Tick now) { (void)now; }
 
     /**
+     * Earliest tick at which tick() does anything (kTickNever when it
+     * never does).  Lets the main loop fast-forward over idle stretches
+     * without missing an epoch boundary.
+     */
+    virtual Tick nextWakeTick() const { return kTickNever; }
+
+    /**
      * Current residence of the 64B block at @p paddr.  Used for
      * writebacks and, in tests, to assert the mapping stays bijective.
      */

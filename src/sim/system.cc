@@ -173,16 +173,15 @@ MemoryHierarchy::access(CoreId core, Addr vaddr, Addr pc, bool is_write,
     cache::Cache &l1 = l1d_[core];
 
     // L1 hit path.
-    if (l1.probe(paddr)) {
-        l1.access(paddr, is_write);
+    if (l1.accessIfHit(paddr, is_write)) {
         if (done)
             done(now + cfg_.l1_latency);
         return true;
     }
 
-    // L2 hit path: check *before* mutating anything so MSHR rejection
-    // leaves the caches untouched.
-    const bool l2_hit = l2_.probe(paddr);
+    // L2 hit path: a hit updates L2 state immediately; a miss leaves the
+    // caches untouched so MSHR rejection below has nothing to undo.
+    const bool l2_hit = l2_.accessIfHit(paddr, false);
     const Addr block = subblockAddr(paddr);
 
     if (!l2_hit) {
@@ -227,8 +226,8 @@ MemoryHierarchy::access(CoreId core, Addr vaddr, Addr pc, bool is_write,
         return true;
     }
 
-    // L2 hit: fill L1, cascade any dirty L1 victim into L2.
-    l2_.access(paddr, false);
+    // L2 hit (already counted above): fill L1, cascade any dirty L1
+    // victim into L2.
     auto o1 = l1.access(paddr, is_write);
     if (o1.writeback) {
         auto ol2 = l2_.fill(o1.writeback_addr, true);
@@ -361,6 +360,41 @@ System::run()
         if (all_done)
             break;
         ++cycle;
+
+        // Fast-forward: when every live core is in the counters-only
+        // stall state, nothing can happen before the earliest wakeup
+        // among the cores' stall horizons, pending events (completions,
+        // telemetry epochs), the DRAM scan registers and the policy's
+        // epoch hook — each skipped cycle would have been a strict
+        // no-op apart from the stall counters, which are bulk-added.
+        Tick wake = kTickNever;
+        bool skippable = true;
+        for (const auto &core : cores_) {
+            if (core->done())
+                continue;
+            const Tick su = core->stallUntil();
+            if (su <= cycle) {
+                skippable = false;
+                break;
+            }
+            wake = std::min(wake, su);
+        }
+        if (!skippable)
+            continue;
+        wake = std::min(wake, events_.nextEventTick());
+        if (nm_)
+            wake = std::min(wake, nm_->nextWakeTick());
+        wake = std::min(wake, fm_->nextWakeTick());
+        wake = std::min(wake, policy_->nextWakeTick());
+        wake = std::min(wake, cfg_.max_ticks);
+        if (wake <= cycle)
+            continue;
+        const uint64_t skipped = wake - cycle;
+        for (auto &core : cores_) {
+            if (!core->done())
+                core->addStalledCycles(skipped);
+        }
+        cycle = wake;
     }
 
     SimResult r;

@@ -26,6 +26,10 @@ Addr
 Translation::translate(CoreId core, Addr vaddr)
 {
     const uint64_t vpage = vaddr >> kLargeBlockBits;
+    if (core < last_vpage_.size() && last_vpage_[core] == vpage) {
+        return last_frame_[core] * kLargeBlockSize +
+            (vaddr & (kLargeBlockSize - 1));
+    }
     const uint64_t k = key(core, vpage);
     auto it = page_table_.find(k);
     uint64_t frame;
@@ -39,6 +43,12 @@ Translation::translate(CoreId core, Addr vaddr)
         page_table_.emplace(k, frame);
         ++per_core_pages_[core];
     }
+    if (core >= last_vpage_.size()) {
+        last_vpage_.resize(core + 1, ~uint64_t(0));
+        last_frame_.resize(core + 1, 0);
+    }
+    last_vpage_[core] = vpage;
+    last_frame_[core] = frame;
     return frame * kLargeBlockSize + (vaddr & (kLargeBlockSize - 1));
 }
 

@@ -56,6 +56,14 @@ class Translation
     std::unordered_map<CoreId, uint64_t> per_core_pages_;
     std::vector<uint64_t> frames_;
     uint64_t next_free_ = 0;
+
+    /**
+     * Per-core last-translation memo.  Mappings are never invalidated
+     * (first-touch only), so short-circuiting repeat lookups of the
+     * same page is exact; bursty traces hit this almost always.
+     */
+    std::vector<uint64_t> last_vpage_;
+    std::vector<uint64_t> last_frame_;
 };
 
 } // namespace sim

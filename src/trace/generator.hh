@@ -171,6 +171,8 @@ class SyntheticGenerator : public TraceSource
     uint64_t stream_cursor_ = 0;
 
     uint64_t mem_ops_ = 0;
+    /** Mem ops until the next hot-set reshuffle; 0 disables phases. */
+    uint64_t phase_countdown_ = 0;
     uint64_t phase_changes_ = 0;
     uint64_t instr_count_ = 0;
 };

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -269,6 +270,54 @@ TEST(Mshr, WaitersFireInOrder)
     mshr.addWaiter(0x1000, [&](Tick) { order.push_back(2); });
     mshr.complete(0x1000, 9);
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Mshr, TableSurvivesCollisionChurn)
+{
+    // The MSHR file is an open-addressed table with backward-shift
+    // deletion; interleave allocates and completes over many block
+    // addresses (far more than the capacity, in clustered strides that
+    // force probe-chain collisions) and verify lookups never lose or
+    // duplicate an entry.
+    MshrFile mshr(16, 16);
+    std::vector<Addr> live;
+    uint64_t completed = 0;
+    uint64_t next_block = 0;
+    // Deterministic LCG so the churn pattern is reproducible.
+    uint64_t state = 12345;
+    auto rnd = [&state](uint64_t bound) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return (state >> 33) % bound;
+    };
+    for (int step = 0; step < 2000; ++step) {
+        if (live.size() < 16 && rnd(2) == 0) {
+            // Clustered addresses: consecutive block numbers hash near
+            // each other often enough to exercise chain shifts.
+            const Addr addr = (next_block++ % 64) * kSubblockSize;
+            if (std::find(live.begin(), live.end(), addr) != live.end())
+                continue;
+            ASSERT_EQ(mshr.allocate(addr, 0, [&](Tick) { ++completed; }),
+                      MshrAllocation::Primary)
+                << "step " << step;
+            live.push_back(addr);
+        } else if (!live.empty()) {
+            const size_t pick = rnd(live.size());
+            const Addr addr = live[pick];
+            ASSERT_TRUE(mshr.outstanding(addr)) << "step " << step;
+            ASSERT_EQ(mshr.complete(addr, step), 1u) << "step " << step;
+            ASSERT_FALSE(mshr.outstanding(addr)) << "step " << step;
+            live.erase(live.begin() + pick);
+        }
+        ASSERT_EQ(mshr.size(), live.size()) << "step " << step;
+        for (const Addr addr : live)
+            ASSERT_TRUE(mshr.outstanding(addr)) << "step " << step;
+    }
+    while (!live.empty()) {
+        mshr.complete(live.back(), 0);
+        live.pop_back();
+    }
+    EXPECT_EQ(mshr.size(), 0u);
+    EXPECT_GT(completed, 0u);
 }
 
 TEST(Mshr, WaiterMayReallocateSameBlock)

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/event_queue.hh"
+#include "common/rng.hh"
 #include "dram/bank.hh"
 #include "dram/controller.hh"
 #include "dram/dram_system.hh"
@@ -624,4 +625,346 @@ TEST(DramSystem, CapacityMustBePageMultiple)
 {
     EventQueue events;
     EXPECT_DEATH(DramSystem(ddr3Params(), 1000, events), "multiple");
+}
+
+// ---- event-driven controller wakeups -------------------------------------
+//
+// The controller's never-miss invariant: whenever anything actionable
+// exists at tick T (a request could issue, a refresh is due, drain state
+// could flip, a background read out-ages its bound), nextScanAt() <= T.
+// The strongest check is differential: a "polled" driver that scans every
+// memory cycle — the historical behaviour — must produce exactly the
+// same issued schedule, completions, and statistics as an event-driven
+// driver that scans only at the pending wakeup.
+
+namespace {
+
+/** One completion observed through a controller's event queue. */
+struct Completion
+{
+    Tick tick;
+    Addr addr;
+    bool operator==(const Completion &) const = default;
+};
+
+/** Drives one ChannelController either polled or event-driven. */
+struct ControllerDriver
+{
+    explicit ControllerDriver(const DramTimingParams &p)
+        : params(p), ctrl(p, events)
+    {
+    }
+
+    void
+    enqueue(Addr addr, bool is_write, TrafficClass cls, uint32_t bank,
+            int64_t row, Tick now, bool event_driven)
+    {
+        DecodedRequest dec;
+        dec.req.addr = addr;
+        dec.req.is_write = is_write;
+        dec.req.traffic = cls;
+        if (!is_write) {
+            dec.req.on_complete = [this, addr](Tick t) {
+                completions.push_back({t, addr});
+            };
+        }
+        dec.bank = bank;
+        dec.row = row;
+        ctrl.enqueue(std::move(dec), now);
+        if (event_driven) {
+            // Mirror DramSystem::issue(): the scan phase for this tick
+            // has already run, so a boundary tick arms the next boundary.
+            const Tick step = params.toTicks(1);
+            const Tick rem = now % step;
+            ctrl.requestScanAt(rem == 0 ? now + step
+                                        : now + (step - rem));
+        }
+    }
+
+    void
+    step(Tick now, bool event_driven)
+    {
+        if (event_driven) {
+            if (now >= ctrl.nextScanAt())
+                ctrl.scan(now);
+        } else if (now % params.toTicks(1) == 0) {
+            ctrl.scan(now);
+        }
+        events.runDue(now);
+    }
+
+    DramTimingParams params;
+    EventQueue events;
+    ChannelController ctrl;
+    std::vector<Completion> completions;
+};
+
+} // namespace
+
+TEST(EventDriven, MatchesPolledControllerAcrossRandomTimings)
+{
+    Rng cfg_rng(20260805);
+    for (int trial = 0; trial < 10; ++trial) {
+        DramTimingParams p = simpleParams();
+        p.t_cas = 4 + static_cast<uint32_t>(cfg_rng.below(12));
+        p.t_rcd = 4 + static_cast<uint32_t>(cfg_rng.below(12));
+        p.t_rp = 4 + static_cast<uint32_t>(cfg_rng.below(12));
+        p.t_ras = p.t_rcd + p.t_cas +
+            static_cast<uint32_t>(cfg_rng.below(16));
+        p.t_ccd = 2 + static_cast<uint32_t>(cfg_rng.below(4));
+        p.queue_depth = 8u << cfg_rng.below(3);
+        p.cpu_cycles_per_mem_cycle =
+            1u << cfg_rng.below(3);
+        p.t_refi = cfg_rng.below(2) == 0
+            ? 0
+            : 400 + static_cast<uint32_t>(cfg_rng.below(400));
+        p.bg_max_wait_mem_cycles = cfg_rng.below(2) == 0
+            ? 0
+            : 32 + static_cast<uint32_t>(cfg_rng.below(200));
+
+        ControllerDriver polled(p);
+        ControllerDriver event_driven(p);
+        const uint32_t banks = static_cast<uint32_t>(
+            polled.ctrl.numBanks());
+
+        // Identical pseudo-random traffic into both drivers.
+        Rng traffic(1000 + trial);
+        const Tick horizon = 6000;
+        Tick next_arrival = traffic.below(20);
+        Addr next_addr = 0;
+        for (Tick t = 0; t < horizon; ++t) {
+            polled.step(t, false);
+            event_driven.step(t, true);
+            while (t == next_arrival) {
+                const bool is_write = traffic.below(10) < 3;
+                const TrafficClass cls = is_write
+                    ? (traffic.below(2) != 0 ? TrafficClass::Writeback
+                                             : TrafficClass::Migration)
+                    : (traffic.below(10) < 7
+                           ? TrafficClass::Demand
+                           : TrafficClass::Migration);
+                const uint32_t bank =
+                    static_cast<uint32_t>(traffic.below(banks));
+                const int64_t row =
+                    static_cast<int64_t>(traffic.below(4));
+                const Addr addr = next_addr;
+                next_addr += kSubblockSize;
+                polled.enqueue(addr, is_write, cls, bank, row, t,
+                               false);
+                event_driven.enqueue(addr, is_write, cls, bank, row, t,
+                                     true);
+                next_arrival = t + 1 + traffic.below(12);
+            }
+            // Liveness: pending work always has a pending wakeup.
+            if (event_driven.ctrl.queuedRequests() != 0)
+                ASSERT_NE(event_driven.ctrl.nextScanAt(), kTickNever)
+                    << "trial " << trial << " tick " << t;
+        }
+        // Drain what is still queued.
+        for (Tick t = horizon; t < horizon + 100000 &&
+                 (polled.ctrl.queuedRequests() != 0 ||
+                  event_driven.ctrl.queuedRequests() != 0);
+             ++t) {
+            polled.step(t, false);
+            event_driven.step(t, true);
+        }
+
+        ASSERT_EQ(polled.ctrl.queuedRequests(), 0u) << "trial " << trial;
+        ASSERT_EQ(event_driven.ctrl.queuedRequests(), 0u)
+            << "trial " << trial;
+        EXPECT_EQ(polled.completions, event_driven.completions)
+            << "trial " << trial;
+        EXPECT_EQ(polled.ctrl.readsServed(),
+                  event_driven.ctrl.readsServed());
+        EXPECT_EQ(polled.ctrl.writesServed(),
+                  event_driven.ctrl.writesServed());
+        EXPECT_EQ(polled.ctrl.rowHits(), event_driven.ctrl.rowHits());
+        EXPECT_EQ(polled.ctrl.rowMisses(),
+                  event_driven.ctrl.rowMisses());
+        EXPECT_EQ(polled.ctrl.activations(),
+                  event_driven.ctrl.activations());
+        EXPECT_EQ(polled.ctrl.refreshes(),
+                  event_driven.ctrl.refreshes());
+        EXPECT_EQ(polled.ctrl.bgPromotions(),
+                  event_driven.ctrl.bgPromotions());
+        EXPECT_EQ(polled.ctrl.busBusyTicks(),
+                  event_driven.ctrl.busBusyTicks());
+    }
+}
+
+TEST(EventDriven, RefreshCatchUpCountsEachInterval)
+{
+    DramTimingParams p = simpleParams();
+    p.t_refi = 100;
+    EventQueue events;
+    ChannelController ctrl(p, events);
+
+    // Idle channel: the only wakeup is the refresh deadline.
+    EXPECT_EQ(ctrl.nextScanAt(), p.toTicks(p.t_refi));
+
+    // Wake far past several intervals at once (a fast-forwarded main
+    // loop does this routinely): every elapsed interval must count.
+    const Tick interval = p.toTicks(p.t_refi);
+    ctrl.scan(interval * 5);
+    EXPECT_EQ(ctrl.refreshes(), 5u);
+    EXPECT_EQ(ctrl.nextRefreshAt(), interval * 6);
+    EXPECT_EQ(ctrl.nextScanAt(), interval * 6);
+
+    ctrl.scan(interval * 6);
+    EXPECT_EQ(ctrl.refreshes(), 6u);
+}
+
+TEST(EventDriven, DrainHysteresisReleasesAboveEmptyAtDepth8)
+{
+    // Regression: with queue_depth = 8 the old fixed release margin of 8
+    // exceeded the high watermark, the release condition could never be
+    // met, and an engaged drain ran the write queue all the way to
+    // empty.  The margin now derives from the depth.
+    DramTimingParams p = simpleParams();
+    p.queue_depth = 8;
+    p.t_refi = 0;
+    EventQueue events;
+    ChannelController ctrl(p, events);
+
+    for (uint32_t i = 0; i < 8; ++i) {
+        DecodedRequest dec;
+        dec.req.addr = static_cast<Addr>(i) * kSubblockSize;
+        dec.req.is_write = true;
+        dec.req.traffic = TrafficClass::Writeback;
+        dec.bank = i % ctrl.numBanks();
+        dec.row = 0;
+        ctrl.enqueue(std::move(dec), 0);
+    }
+
+    bool engaged = false;
+    size_t depth_at_release = 0;
+    for (Tick t = 0; t < 100000 && ctrl.writeQueueDepth() != 0; ++t) {
+        if (t % p.toTicks(1) == 0)
+            ctrl.scan(t);
+        if (ctrl.drainingWrites()) {
+            engaged = true;
+        } else if (engaged && depth_at_release == 0) {
+            depth_at_release = ctrl.writeQueueDepth();
+            break;
+        }
+    }
+    EXPECT_TRUE(engaged);
+    // Drain must disengage while writes are still queued, not at empty.
+    EXPECT_GT(depth_at_release, 0u);
+}
+
+TEST(EventDriven, AgingPromotesStarvedBackgroundRead)
+{
+    DramTimingParams p = simpleParams();
+    p.t_refi = 0;
+    p.bg_max_wait_mem_cycles = 64;
+    EventQueue events;
+    ChannelController ctrl(p, events);
+
+    bool bg_done = false;
+    Tick bg_done_at = 0;
+    {
+        DecodedRequest dec;
+        dec.req.addr = 0x10000;
+        dec.req.traffic = TrafficClass::Migration;
+        dec.req.on_complete = [&](Tick t) {
+            bg_done = true;
+            bg_done_at = t;
+        };
+        dec.bank = 0;
+        dec.row = 7;
+        ctrl.enqueue(std::move(dec), 0);
+    }
+
+    // Saturate the channel with demand reads to the same bank forever:
+    // without the aging bound the migration read would never be chosen.
+    uint64_t demand_done = 0;
+    Addr a = 0;
+    for (Tick t = 0; t < p.toTicks(4096); ++t) {
+        if (t % p.toTicks(1) == 0) {
+            while (ctrl.readQueueDepth() < p.queue_depth) {
+                DecodedRequest dec;
+                dec.req.addr = (a += kSubblockSize);
+                dec.req.traffic = TrafficClass::Demand;
+                dec.req.on_complete = [&](Tick) { ++demand_done; };
+                dec.bank = 0;
+                dec.row = 0;
+                ctrl.enqueue(std::move(dec), t);
+            }
+            ctrl.scan(t);
+        }
+        events.runDue(t);
+    }
+
+    EXPECT_TRUE(bg_done);
+    EXPECT_GE(ctrl.bgPromotions(), 1u);
+    // Promotion happened once the bound elapsed, not at the very end.
+    EXPECT_LE(bg_done_at,
+              p.toTicks(p.bg_max_wait_mem_cycles) + p.toTicks(256));
+    EXPECT_GT(demand_done, 0u);
+}
+
+TEST(EventDriven, ArenaSurvivesChurn)
+{
+    // Free-list stress: interleave enqueues and drains so arena slots
+    // are recycled across all three queues, then verify nothing leaks
+    // and FIFO order within each queue is preserved.
+    DramTimingParams p = simpleParams();
+    p.t_refi = 0;
+    EventQueue events;
+    ChannelController ctrl(p, events);
+    Rng rng(42);
+
+    uint64_t enqueued_reads = 0;
+    uint64_t enqueued_writes = 0;
+    Addr a = 0;
+    for (int round = 0; round < 50; ++round) {
+        const uint32_t burst = 1 + static_cast<uint32_t>(rng.below(12));
+        const Tick base = static_cast<Tick>(round) * 4096;
+        for (uint32_t i = 0; i < burst; ++i) {
+            DecodedRequest dec;
+            dec.req.addr = (a += kSubblockSize);
+            dec.req.is_write = rng.below(3) == 0;
+            dec.req.traffic = dec.req.is_write
+                ? TrafficClass::Writeback
+                : (rng.below(2) != 0 ? TrafficClass::Demand
+                                     : TrafficClass::Migration);
+            dec.bank = static_cast<uint32_t>(
+                rng.below(ctrl.numBanks()));
+            dec.row = static_cast<int64_t>(rng.below(8));
+            if (dec.req.is_write)
+                ++enqueued_writes;
+            else
+                ++enqueued_reads;
+            ctrl.enqueue(std::move(dec), base);
+        }
+        // FIFO snapshots stay enqueue-ordered.
+        for (int q = 0; q < 3; ++q) {
+            const auto snap = ctrl.queueSnapshot(q);
+            for (size_t i = 1; i < snap.size(); ++i)
+                ASSERT_LE(snap[i - 1].enqueued, snap[i].enqueued);
+        }
+        // Randomly drain some or all of the queue.
+        const bool full_drain = rng.below(3) == 0;
+        Tick t = base;
+        const Tick stop = base + 4096;
+        while (t < stop &&
+               (full_drain ? ctrl.queuedRequests() != 0
+                           : t < base + 256)) {
+            if (t % p.toTicks(1) == 0)
+                ctrl.scan(t);
+            events.runDue(t);
+            ++t;
+        }
+    }
+    // Final drain.
+    for (Tick t = 50 * 4096; ctrl.queuedRequests() != 0; ++t) {
+        if (t % p.toTicks(1) == 0)
+            ctrl.scan(t);
+        events.runDue(t);
+    }
+    EXPECT_EQ(ctrl.readsServed(), enqueued_reads);
+    EXPECT_EQ(ctrl.writesServed(), enqueued_writes);
+    EXPECT_EQ(ctrl.readQueueDepth(), 0u);
+    EXPECT_EQ(ctrl.writeQueueDepth(), 0u);
 }

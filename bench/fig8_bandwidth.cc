@@ -8,9 +8,19 @@
  * share of total system bandwidth); HMA ~0.71, PoM ~0.58, CAMEO lower,
  * CAMEO+P imbalanced towards NM, SILC-FM ~0.76 — within 4% of ideal
  * thanks to bypassing.
+ *
+ * --perf mode: run ONE fig8-class (bandwidth-bound, full channel
+ * count) simulation and report simulator throughput on stderr as
+ * "[simpar] T ticks in X.XXs (Y.YY mticks/sec, N lanes)".  This is the
+ * fixture behind BENCH_fig8.json and the perf-smoke-fig8 CI gate: the
+ * intra-simulation windowed loop (SILC_SIM_THREADS, sim/domain.hh) is
+ * exercised by exactly this single-run shape, which the grid benches —
+ * already saturated by run-level parallelism — cannot measure.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "sim/parallel.hh"
@@ -20,9 +30,55 @@
 using namespace silc;
 using namespace silc::sim;
 
+namespace {
+
+/** The fig8-class perf fixture: paper bandwidth shape, one run. */
+int
+runPerfMode()
+{
+    ExperimentOptions opts = ExperimentOptions::fromEnv();
+    SystemConfig cfg = makeConfig("lbm", PolicyKind::SilcFm, opts);
+    // Full paper channel counts (the table runs use the scaled-down
+    // machine): 8 HBM2 pseudo-channels against 4 DDR3 channels keeps
+    // both devices busy enough that channel partitioning has work.
+    cfg.nm_timing = dram::hbm2Params();
+    cfg.fm_timing = dram::ddr3Params();
+    cfg.fm_timing.channels = 4;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    System system(cfg);
+    const SimResult r = system.run();
+    const double secs = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0).count();
+    const double mticks = secs > 0.0
+        ? static_cast<double>(r.ticks) / 1e6 / secs
+        : 0.0;
+
+    std::printf("fig8-perf %s/%s cores=%s instr=%s ticks=%s ipc=%.3f\n",
+                r.workload.c_str(), r.scheme.c_str(),
+                u64str(r.cores).c_str(),
+                u64str(opts.instructions_per_core).c_str(),
+                u64str(r.ticks).c_str(), r.ipc);
+    // Locale-stable footer; CI parses it with a fixed regex.
+    std::fprintf(stderr,
+                 "[simpar] %s ticks in %ss (%s mticks/sec, %s lanes)\n",
+                 u64str(r.ticks).c_str(),
+                 fixedDecimal(secs, 2).c_str(),
+                 fixedDecimal(mticks, 2).c_str(),
+                 u64str(opts.sim_threads).c_str());
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--perf") == 0)
+            return runPerfMode();
+    }
+
     ExperimentOptions opts = ExperimentOptions::fromEnv();
     ParallelRunner runner(opts);
     runner.setJsonPath(jsonOutputPath(argc, argv));

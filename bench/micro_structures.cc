@@ -9,8 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/event_queue.hh"
@@ -368,6 +372,113 @@ BM_EventCancelRearm(benchmark::State &state)
         static_cast<double>(q.cancelled()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EventCancelRearm);
+
+/**
+ * One window of the intra-simulation parallel machinery at lane
+ * granularity, run serially: enter window mode, buffer a batch of
+ * enqueues, replay every channel to the window edge, merge the deferred
+ * completions back into the event queue in deterministic order.  This
+ * is the fixed per-window overhead the conservative-lookahead loop pays
+ * over the legacy polled path (sim/domain.hh); counter "reqs/sec" is
+ * the buffered-issue throughput.
+ */
+static void
+BM_WindowBufferReplayMerge(benchmark::State &state)
+{
+    dram::DramTimingParams p = dram::ddr3Params();
+    p.t_refi = 0;
+    p.channels = 4;
+    EventQueue events;
+    dram::DramSystem sys(p, 64_MiB, events);
+    sys.setWindowMode(true);
+    Rng rng(11);
+    Tick now = 0;
+    const Tick window = p.toTicks(64);
+    uint64_t issued = 0;
+    for (auto _ : state) {
+        (void)_;
+        sys.beginWindow();
+        for (int i = 0; i < 32; ++i) {
+            dram::DramRequest req;
+            req.addr = rng.below(64_MiB / 64) * 64;
+            req.is_write = rng.below(4) == 0;
+            req.traffic = req.is_write ? dram::TrafficClass::Writeback
+                                       : dram::TrafficClass::Demand;
+            sys.issue(std::move(req), now);
+            ++issued;
+        }
+        sys.stampTick(now);
+        const Tick w1 = now + window;
+        for (size_t c = 0; c < sys.numChannels(); ++c)
+            sys.replayChannel(c, w1);
+        sys.mergeWindow(1);
+        now = w1;
+        events.runDue(now);
+    }
+    state.counters["reqs/sec"] = benchmark::Counter(
+        static_cast<double>(issued), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WindowBufferReplayMerge);
+
+/**
+ * The window-edge synchronization barrier in isolation: the same
+ * epoch/done atomic handshake DomainScheduler uses (release bump +
+ * notify, spin-then-wait worker, release done, acquire gather).
+ * Counter "windows/sec" bounds how many windows per second the
+ * parallel loop could possibly sustain on this host — window sizing
+ * must keep per-window work well above 1/this.
+ */
+static void
+BM_WindowBarrierRoundTrip(benchmark::State &state)
+{
+    std::atomic<uint64_t> epoch{0}, done{0};
+    std::atomic<bool> stop{false};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::thread worker([&] {
+        uint64_t seen = 0;
+        for (;;) {
+            for (int spin = 0; spin < 4096; ++spin) {
+                if (epoch.load(std::memory_order_acquire) != seen ||
+                    stop.load(std::memory_order_acquire))
+                    break;
+            }
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock, [&] {
+                    return epoch.load(std::memory_order_acquire) != seen ||
+                           stop.load(std::memory_order_acquire);
+                });
+            }
+            if (stop.load(std::memory_order_acquire))
+                return;
+            ++seen;
+            done.fetch_add(1, std::memory_order_release);
+        }
+    });
+    uint64_t rounds = 0;
+    for (auto _ : state) {
+        (void)_;
+        done.store(0, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            epoch.fetch_add(1, std::memory_order_release);
+        }
+        cv.notify_all();
+        while (done.load(std::memory_order_acquire) != 1)
+            std::this_thread::yield();
+        ++rounds;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stop.store(true, std::memory_order_release);
+    }
+    cv.notify_all();
+    worker.join();
+    state.counters["windows/sec"] = benchmark::Counter(
+        static_cast<double>(rounds), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_WindowBarrierRoundTrip);
 
 static void
 BM_DramDecode(benchmark::State &state)

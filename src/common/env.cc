@@ -1,0 +1,42 @@
+#include "common/env.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace silc {
+
+uint64_t
+envPositiveCount(const char *name, uint64_t fallback, uint64_t max_value)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr)
+        return fallback;
+    // Reject empty and leading junk up front: strtoull would skip
+    // whitespace and accept a leading '-' by wrapping, both of which we
+    // want to be errors for a count knob.
+    if (*v == '\0' || !std::isdigit(static_cast<unsigned char>(*v)))
+        fatal("%s must be a positive integer, got '%s'", name, v);
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (errno == ERANGE || (end != nullptr && *end != '\0'))
+        fatal("%s must be a positive integer, got '%s'", name, v);
+    if (n == 0)
+        fatal("%s must be positive, got '%s' (use 1 for sequential)",
+              name, v);
+    if (n > max_value)
+        fatal("%s=%s exceeds the supported maximum of %llu", name, v,
+              static_cast<unsigned long long>(max_value));
+    return static_cast<uint64_t>(n);
+}
+
+unsigned
+envThreadCount(const char *name, unsigned fallback)
+{
+    return static_cast<unsigned>(envPositiveCount(name, fallback, 1024));
+}
+
+} // namespace silc

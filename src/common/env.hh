@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Strictly-validated environment knob parsing shared by the thread-count
+ * knobs (SILC_THREADS, SILC_SIM_THREADS) and any future small-count
+ * knob.  The historical parsers (one strtol in sim/parallel.cc, one
+ * parseSize in sim/experiment.cc) silently accepted trailing junk
+ * ("4abc" read as 4), which turns a typo into a quietly different
+ * experiment; here anything but a clean positive decimal integer is a
+ * fatal error naming the variable and the offending value.
+ */
+
+#ifndef SILC_COMMON_ENV_HH
+#define SILC_COMMON_ENV_HH
+
+#include <cstdint>
+
+namespace silc {
+
+/**
+ * Read a positive decimal count from environment variable @p name.
+ *
+ * Returns @p fallback when the variable is unset.  fatal()s (with the
+ * variable name and raw value in the message) when the value is empty,
+ * zero, negative, non-numeric, has trailing characters, or exceeds
+ * @p max_value.
+ */
+uint64_t envPositiveCount(const char *name, uint64_t fallback,
+                          uint64_t max_value = UINT64_MAX);
+
+/**
+ * Thread-count flavour of envPositiveCount(): bounds the value to a
+ * sanity cap of 1024 threads so a stray SILC_THREADS=100000 fails fast
+ * instead of spawning an unusable process.
+ */
+unsigned envThreadCount(const char *name, unsigned fallback);
+
+} // namespace silc
+
+#endif // SILC_COMMON_ENV_HH

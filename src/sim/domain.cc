@@ -1,0 +1,158 @@
+#include "sim/domain.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "dram/dram_system.hh"
+
+namespace silc {
+namespace sim {
+
+namespace {
+
+/** Barrier spin budget before falling back to the condition variable. */
+constexpr int kSpinIterations = 4096;
+
+} // namespace
+
+DomainScheduler::DomainScheduler(dram::DramSystem *nm,
+                                 dram::DramSystem &fm, unsigned threads)
+    : nm_(nm), fm_(fm)
+{
+    if (nm_) {
+        for (size_t i = 0; i < nm_->numChannels(); ++i)
+            channels_.push_back({nm_, i});
+    }
+    for (size_t i = 0; i < fm_.numChannels(); ++i)
+        channels_.push_back({&fm_, i});
+    const unsigned total = static_cast<unsigned>(channels_.size());
+    lanes_ = threads < 1 ? 1 : threads;
+    if (lanes_ > total && total > 0)
+        lanes_ = total;
+}
+
+DomainScheduler::~DomainScheduler()
+{
+    if (workers_spawned_) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_.store(true, std::memory_order_release);
+        }
+        cv_.notify_all();
+        // ThreadPool destruction joins the workers once their persistent
+        // barrier loops return.
+        pool_.reset();
+    }
+}
+
+void
+DomainScheduler::replayLane(unsigned lane, Tick w1)
+{
+    for (size_t k = lane; k < channels_.size(); k += lanes_)
+        channels_[k].dev->replayChannel(channels_[k].index, w1);
+}
+
+void
+DomainScheduler::workerBody(unsigned lane)
+{
+    uint64_t seen = 0;
+    while (true) {
+        // Spin briefly for the next window — windows are typically a
+        // few microseconds apart — then park on the condition variable.
+        bool ready = false;
+        for (int i = 0; i < kSpinIterations; ++i) {
+            if (epoch_.load(std::memory_order_acquire) != seen ||
+                stop_.load(std::memory_order_acquire)) {
+                ready = true;
+                break;
+            }
+        }
+        if (!ready) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] {
+                return epoch_.load(std::memory_order_acquire) != seen ||
+                    stop_.load(std::memory_order_acquire);
+            });
+        }
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        seen = epoch_.load(std::memory_order_acquire);
+        replayLane(lane, w1_);
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+DomainScheduler::spawnWorkers()
+{
+    workers_spawned_ = true;
+    pool_ = std::make_unique<ThreadPool>(lanes_ - 1);
+    // Persistent barrier loops: each worker runs exactly one, parked
+    // between windows, until the destructor raises stop_.
+    for (unsigned lane = 1; lane < lanes_; ++lane)
+        pool_->submit([this, lane] { workerBody(lane); });
+}
+
+void
+DomainScheduler::replay(Tick w1)
+{
+    // Count lanes that actually have work this window; replaying an
+    // idle channel is a no-op, but dispatching a barrier round-trip for
+    // fewer than two busy lanes costs more than it saves.
+    unsigned busy_lanes = 0;
+    if (lanes_ > 1) {
+        std::vector<bool> lane_busy(lanes_, false);
+        for (size_t k = 0; k < channels_.size(); ++k) {
+            const ChannelRef &c = channels_[k];
+            const dram::ChannelController &ch = c.dev->channel(c.index);
+            if (ch.pendingEnqueues() != 0 || ch.nextScanAt() < w1)
+                lane_busy[k % lanes_] = true;
+        }
+        for (unsigned l = 0; l < lanes_; ++l)
+            busy_lanes += lane_busy[l] ? 1 : 0;
+    }
+
+    // The replay outcome is identical either way (channels are
+    // independent and the merge orders everything), so the executor
+    // choice is free to consult the host: on a single hardware thread
+    // the parallel path only adds barrier overhead.
+    static const unsigned hw = std::thread::hardware_concurrency();
+    const bool go_parallel = lanes_ > 1 && busy_lanes >= 2 && hw >= 2;
+
+    if (go_parallel) {
+        if (!workers_spawned_)
+            spawnWorkers();
+        done_.store(0, std::memory_order_relaxed);
+        w1_ = w1;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            epoch_.fetch_add(1, std::memory_order_release);
+        }
+        cv_.notify_all();
+        replayLane(0, w1);
+        const unsigned workers = lanes_ - 1;
+        if (done_.load(std::memory_order_acquire) != workers) {
+            const auto t0 = std::chrono::steady_clock::now();
+            while (done_.load(std::memory_order_acquire) != workers)
+                std::this_thread::yield();
+            stats_.sync_wait_ns += static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0).count());
+        }
+        ++stats_.parallel_replays;
+    } else {
+        replayLane(0, w1);
+        for (unsigned lane = 1; lane < lanes_; ++lane)
+            replayLane(lane, w1);
+        ++stats_.serial_replays;
+    }
+
+    // Merge in device order (NM = loop phase 1, FM = phase 2), matching
+    // the sequential main loop's phase order.
+    if (nm_)
+        nm_->mergeWindow(1);
+    fm_.mergeWindow(2);
+}
+
+} // namespace sim
+} // namespace silc

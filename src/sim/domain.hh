@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Conservative-lookahead window execution domains for intra-simulation
+ * parallelism.
+ *
+ * The sequential simulator interleaves three kinds of per-tick work:
+ * the serial "core" work (event queue, CPU cores, the policy) and the
+ * two DRAM devices' channel scans.  Channel scans are channel-local —
+ * they touch only their own banks/queues — and everything they feed
+ * back to the rest of the simulator (completion callbacks, histogram
+ * samples) lands at least minServiceTicks() in the future.  That
+ * latency floor is the conservative lookahead: the main loop may run a
+ * whole window [w0, w1) of core work first, with w1 bounded by the
+ * earliest possible scan completion, and only then replay the window's
+ * channel scans — possibly on worker threads — without the core work
+ * ever observing a completion out of order.
+ *
+ * The DomainScheduler owns the partition of DRAM channels across
+ * replay lanes (main thread plus ThreadPool workers) and the window
+ * barrier that synchronizes them.  Determinism is absolute: the replay
+ * outcome is executor-invariant (channels are independent; the merge
+ * back into shared state is ordered by (scan tick, channel)), so the
+ * scheduler is free to fall back to a serial replay on small windows
+ * or single-CPU hosts without changing a single output byte.  The
+ * byte-identical bar — `silc.results.v1` documents identical across
+ * SILC_SIM_THREADS values — is enforced by tests/test_sim_parallel_window.
+ */
+
+#ifndef SILC_SIM_DOMAIN_HH
+#define SILC_SIM_DOMAIN_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/parallel.hh"
+
+namespace silc {
+
+namespace dram {
+class DramSystem;
+} // namespace dram
+
+namespace sim {
+
+/**
+ * Counters for the windowed run loop (dumped via System::dumpStats and
+ * the [simpar] stderr footer; deliberately kept out of SimResult so the
+ * results document stays byte-identical across thread counts).
+ */
+struct WindowStats
+{
+    uint64_t windows = 0;           ///< windows executed
+    uint64_t parallel_replays = 0;  ///< replays dispatched to workers
+    uint64_t serial_replays = 0;    ///< replays run inline on the main thread
+    uint64_t horizon_capped = 0;    ///< windows ended by the dynamic horizon
+    uint64_t window_ticks = 0;      ///< total ticks covered by windows
+    uint64_t sync_wait_ns = 0;      ///< main-thread barrier wait time
+};
+
+/**
+ * Partitions the two DRAM devices' channels across replay lanes and
+ * replays each window, serially or on the owning ThreadPool.
+ *
+ * Lanes: lane 0 is the calling (main) thread; lanes 1..N-1 are
+ * persistent tasks parked on a ThreadPool, woken per window through an
+ * epoch barrier (bounded spin, then condition variable).  Channels are
+ * assigned to lanes round-robin over the concatenated NM+FM channel
+ * list, fixed at construction.
+ *
+ * Worker threads spawn lazily on the first parallel dispatch, so a
+ * windowed run that never dispatches in parallel (single-CPU host,
+ * too few busy channels) costs no threads at all.
+ */
+class DomainScheduler
+{
+  public:
+    /**
+     * @param nm      near-memory device, or nullptr for no-NM baselines
+     *                (replayed with loop phase 1)
+     * @param fm      far-memory device (replayed with loop phase 2)
+     * @param threads requested lane count (SILC_SIM_THREADS); clamped
+     *                to the total channel count
+     */
+    DomainScheduler(dram::DramSystem *nm, dram::DramSystem &fm,
+                    unsigned threads);
+    ~DomainScheduler();
+
+    DomainScheduler(const DomainScheduler &) = delete;
+    DomainScheduler &operator=(const DomainScheduler &) = delete;
+
+    /**
+     * Replay every channel's window up to @p w1 and fold the deferred
+     * work back into shared state (DramSystem::mergeWindow).  Chooses
+     * serial or parallel execution per window; the choice never
+     * affects results.  Call from the main thread only, after the
+     * window's core phase.
+     */
+    void replay(Tick w1);
+
+    /** Replay lanes (including the main thread's lane 0). */
+    unsigned lanes() const { return lanes_; }
+
+    const WindowStats &stats() const { return stats_; }
+    WindowStats &stats() { return stats_; }
+
+  private:
+    /** One channel of one device, as seen by the replay lanes. */
+    struct ChannelRef
+    {
+        dram::DramSystem *dev;
+        size_t index;
+    };
+
+    void replayLane(unsigned lane, Tick w1);
+    void spawnWorkers();
+    void workerBody(unsigned lane);
+
+    dram::DramSystem *nm_;
+    dram::DramSystem &fm_;
+    /** Concatenated NM+FM channels; channel k belongs to lane k % lanes_. */
+    std::vector<ChannelRef> channels_;
+    unsigned lanes_ = 1;
+
+    // ---- window barrier ----------------------------------------------
+    //
+    // Main publishes w1_ then bumps epoch_ (release, under the mutex so
+    // a worker cannot check the predicate and sleep between the store
+    // and the notify); workers spin briefly, then wait on the condition
+    // variable.  Completion travels back through done_, which the main
+    // thread spin-gathers — windows are short, so the gather almost
+    // always succeeds within a few iterations.
+
+    std::unique_ptr<ThreadPool> pool_;  ///< lazily created, lanes_-1 threads
+    bool workers_spawned_ = false;
+    std::atomic<uint64_t> epoch_{0};
+    std::atomic<unsigned> done_{0};
+    std::atomic<bool> stop_{false};
+    Tick w1_ = 0;  ///< published before epoch_, read after (acquire)
+    std::mutex mutex_;
+    std::condition_variable cv_;
+
+    WindowStats stats_;
+};
+
+} // namespace sim
+} // namespace silc
+
+#endif // SILC_SIM_DOMAIN_HH

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/config.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace silc {
@@ -34,6 +35,7 @@ ExperimentOptions::fromEnv()
     o.telemetry = envU64("SILC_TELEMETRY", o.telemetry ? 1 : 0) != 0;
     o.epoch_ticks = envU64("SILC_EPOCH_TICKS", o.epoch_ticks);
     o.check = envU64("SILC_CHECK", o.check ? 1 : 0) != 0;
+    o.sim_threads = envThreadCount("SILC_SIM_THREADS", o.sim_threads);
     return o;
 }
 
@@ -66,6 +68,7 @@ makeConfig(const std::string &workload, PolicyKind kind,
     cfg.pom.migration_threshold = 48;
     cfg.telemetry.enabled = opts.telemetry;
     cfg.telemetry.epoch_ticks = opts.epoch_ticks;
+    cfg.sim_threads = opts.sim_threads;
     // The oracle only models SILC-FM; System fatal()s otherwise, so
     // gate here to keep SILC_CHECK=1 usable on multi-scheme benches.
     cfg.check = opts.check && kind == PolicyKind::SilcFm;

@@ -17,6 +17,13 @@
  *                  hardware_concurrency, 1 runs everything
  *                  sequentially.  Tables are byte-identical across
  *                  thread counts.
+ *   SILC_SIM_THREADS - worker lanes *inside* each simulation (default
+ *                  1): >= 2 selects the conservative-lookahead windowed
+ *                  run loop (sim/domain.hh), which partitions DRAM
+ *                  channel scans across this many lanes.  Results are
+ *                  byte-identical for every value; it only changes
+ *                  wall-clock time.  Both thread knobs reject 0 and
+ *                  non-numeric values with a fatal error.
  *
  * Telemetry / export knobs (see src/telemetry/ and sim/result_writer.hh):
  *   SILC_JSON        - write every run's SimResult (plus its epoch time
@@ -62,6 +69,8 @@ struct ExperimentOptions
     bool check = false;
     /** Telemetry epoch length in ticks (SILC_EPOCH_TICKS). */
     uint64_t epoch_ticks = 100'000;
+    /** Intra-simulation lanes (SILC_SIM_THREADS); 1 = sequential loop. */
+    uint32_t sim_threads = 1;
 
     /** Read overrides from the environment. */
     static ExperimentOptions fromEnv();

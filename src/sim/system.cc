@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "policy/static_random.hh"
+#include "sim/domain.hh"
 #include "trace/file_trace.hh"
 #include "trace/profiles.hh"
 
@@ -87,6 +88,8 @@ SystemConfig::validate() const
     }
     if (instructions_per_core == 0)
         fatal("system: zero instruction budget");
+    if (sim_threads == 0)
+        fatal("system: sim_threads must be >= 1 (1 = sequential loop)");
 }
 
 namespace {
@@ -344,6 +347,9 @@ System::~System() = default;
 SimResult
 System::run()
 {
+    if (cfg_.sim_threads >= 2)
+        return runWindowed();
+
     Tick cycle = 0;
     bool all_done = false;
     while (cycle < cfg_.max_ticks) {
@@ -397,6 +403,138 @@ System::run()
         cycle = wake;
     }
 
+    return collectResult(all_done);
+}
+
+/**
+ * The conservative-lookahead windowed loop.  Execution alternates
+ * between a serial "core phase" — events, cores and the policy run
+ * tick-by-tick exactly as in the sequential loop, with DRAM enqueues
+ * buffered per channel instead of scanned — and a per-channel "replay"
+ * of the window's DRAM scans, dispatched across the DomainScheduler's
+ * lanes.  The window may not extend past the earliest tick any
+ * buffered or armed scan could complete (DramSystem::windowHorizon():
+ * scan tick + tCAS + one burst), so the core phase can never miss a
+ * completion; the replay's deferred completions then merge into the
+ * event queue with explicitly composed (tick, phase, channel) keys,
+ * reproducing the sequential scheduler's tie-breaking bit-for-bit.
+ * Windows also end at telemetry epoch boundaries so epoch probes
+ * observe post-replay device state, exactly like the sequential loop's
+ * phase order at the epoch tick.
+ */
+SimResult
+System::runWindowed()
+{
+    if (nm_)
+        nm_->setWindowMode(true);
+    fm_->setWindowMode(true);
+    DomainScheduler sched(nm_.get(), *fm_, cfg_.sim_threads);
+    window_stats_ = std::make_unique<WindowStats>();
+
+    const auto horizon = [this]() -> Tick {
+        Tick h = fm_->windowHorizon();
+        if (nm_)
+            h = std::min(h, nm_->windowHorizon());
+        return h;
+    };
+
+    Tick cycle = 0;
+    bool all_done = false;
+    while (cycle < cfg_.max_ticks && !all_done) {
+        const Tick w0 = cycle;
+        if (nm_)
+            nm_->beginWindow();
+        fm_->beginWindow();
+
+        // Hard window end: the tick limit, or the next telemetry epoch
+        // (whose probes must see the scans of every prior tick).  At a
+        // window starting exactly on the epoch tick the event fires
+        // inside this window, so the cap is the epoch after it.
+        Tick w1_cap = cfg_.max_ticks;
+        if (recorder_) {
+            Tick e = recorder_->nextEpochTick();
+            if (e != kTickNever) {
+                if (e <= w0)
+                    e += cfg_.telemetry.epoch_ticks;
+                w1_cap = std::min(w1_cap, e);
+            }
+        }
+
+        // ---- serial core phase -----------------------------------
+        while (cycle < w1_cap && cycle < horizon()) {
+            events_.setOrderPoint(cycle, 0);
+            events_.runDue(cycle);
+            all_done = true;
+            for (auto &core : cores_) {
+                core->tick(cycle);
+                all_done &= core->done();
+            }
+            // The sequential loop's device phase only stamps the tick
+            // here; the scans themselves replay at the window edge.
+            if (nm_)
+                nm_->stampTick(cycle);
+            fm_->stampTick(cycle);
+            events_.setOrderPoint(cycle, 3);
+            policy_->tick(cycle);
+            ++cycle;
+            if (all_done)
+                break;
+
+            // Fast-forward across counters-only stall cycles, clamped
+            // to the window bounds.  DRAM wakeups are deliberately
+            // absent: the scans they guard replay at the window edge,
+            // and everything they could feed back lands at or past the
+            // horizon.  (The sequential loop executes those
+            // scan-wakeup ticks as stall ticks; the bulk-added
+            // counters are identical either way.)
+            Tick wake = kTickNever;
+            bool skippable = true;
+            for (const auto &core : cores_) {
+                if (core->done())
+                    continue;
+                const Tick su = core->stallUntil();
+                if (su <= cycle) {
+                    skippable = false;
+                    break;
+                }
+                wake = std::min(wake, su);
+            }
+            if (!skippable)
+                continue;
+            wake = std::min(wake, events_.nextEventTick());
+            wake = std::min(wake, policy_->nextWakeTick());
+            wake = std::min(wake, horizon());
+            wake = std::min(wake, w1_cap);
+            if (wake <= cycle)
+                continue;
+            const uint64_t skipped = wake - cycle;
+            for (auto &core : cores_) {
+                if (!core->done())
+                    core->addStalledCycles(skipped);
+            }
+            cycle = wake;
+        }
+
+        // ---- window edge: replay the channels' scans, merge ------
+        const Tick replay_end = cycle;
+        WindowStats &ws = sched.stats();
+        ++ws.windows;
+        ws.window_ticks += replay_end - w0;
+        if (replay_end < w1_cap)
+            ++ws.horizon_capped;
+        sched.replay(replay_end);
+    }
+
+    *window_stats_ = sched.stats();
+    if (nm_)
+        nm_->setWindowMode(false);
+    fm_->setWindowMode(false);
+    return collectResult(all_done);
+}
+
+SimResult
+System::collectResult(bool all_done)
+{
     SimResult r;
     r.scheme = policyKindName(cfg_.policy);
     r.workload = cfg_.workload;
@@ -552,6 +690,27 @@ System::dumpStats(std::ostream &os) const
     if (nm_)
         add_dram("nm", *nm_);
     add_dram("fm", *fm_);
+
+    if (window_stats_) {
+        // Windowed-loop counters live here (and in the bench footers),
+        // never in SimResult: the results document must stay
+        // byte-identical across SILC_SIM_THREADS values.
+        add_scalar("simpar.windows", window_stats_->windows,
+                   "lookahead windows executed");
+        add_scalar("simpar.parallelReplays",
+                   window_stats_->parallel_replays,
+                   "window replays dispatched to worker lanes");
+        add_scalar("simpar.serialReplays",
+                   window_stats_->serial_replays,
+                   "window replays run inline");
+        add_scalar("simpar.horizonCapped",
+                   window_stats_->horizon_capped,
+                   "windows ended by the dynamic horizon");
+        add_scalar("simpar.windowTicks", window_stats_->window_ticks,
+                   "ticks covered by windows");
+        add_scalar("simpar.syncWaitNs", window_stats_->sync_wait_ns,
+                   "main-thread barrier wait (ns)");
+    }
 
     add_scalar("policy.nmServiced", policy_->nmServiced(),
                "demand requests serviced by NM");

@@ -113,6 +113,15 @@ struct SystemConfig
     /** Safety cutoff. */
     Tick max_ticks = 500'000'000;
 
+    /**
+     * Intra-simulation worker threads (SILC_SIM_THREADS).  1 runs the
+     * classic sequential loop; >= 2 runs the conservative-lookahead
+     * windowed loop (sim/domain.hh), which partitions DRAM channel
+     * scans across this many lanes.  Results are byte-identical across
+     * every value of this knob — it is purely a wall-clock control.
+     */
+    uint32_t sim_threads = 1;
+
     /** Table II defaults (with capacity/L2 scaled as per DESIGN.md). */
     static SystemConfig defaults();
 
@@ -121,6 +130,7 @@ struct SystemConfig
 };
 
 class MemoryHierarchy;
+struct WindowStats;
 
 /** One complete simulated machine. */
 class System
@@ -154,6 +164,15 @@ class System
     /** Build the recorder and register every component's probes. */
     void attachTelemetry();
 
+    /**
+     * The conservative-lookahead windowed run loop (sim_threads >= 2).
+     * Byte-identical results to the sequential loop; see sim/domain.hh.
+     */
+    SimResult runWindowed();
+
+    /** Metric extraction shared by both run loops. */
+    SimResult collectResult(bool all_done);
+
     SystemConfig cfg_;
     EventQueue events_;
     std::unique_ptr<dram::DramSystem> nm_;
@@ -165,6 +184,10 @@ class System
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::unique_ptr<telemetry::Recorder> recorder_;
     std::unique_ptr<check::DifferentialChecker> checker_;
+    /** Windowed-loop counters, populated by runWindowed() for
+     *  dumpStats(); held by pointer to keep domain.hh out of this
+     *  header (it includes parallel.hh -> experiment.hh -> here). */
+    std::unique_ptr<WindowStats> window_stats_;
 };
 
 /**

@@ -36,6 +36,7 @@ Recorder::start(EventQueue &events)
     series_->header = header_;
     for (auto &sink : sinks_)
         sink->begin(header_);
+    next_epoch_tick_ = cfg_.epoch_ticks;
     events_->schedule(cfg_.epoch_ticks, [this](Tick t) { onEpoch(t); });
 }
 
@@ -54,7 +55,8 @@ Recorder::onEpoch(Tick now)
     if (finished_)
         return;
     record(now);
-    events_->schedule(now + cfg_.epoch_ticks,
+    next_epoch_tick_ = now + cfg_.epoch_ticks;
+    events_->schedule(next_epoch_tick_,
                       [this](Tick t) { onEpoch(t); });
 }
 

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The sequential-vs-parallel differential oracle for the windowed run
+ * loop (sim/domain.hh): the acceptance bar is byte-identical
+ * `silc.results.v1` output — including the embedded telemetry time
+ * series, whose per-epoch queue-depth and bus-utilization probes see
+ * mid-run device state — across every SILC_SIM_THREADS value.
+ * Randomized-timing trials sweep DRAM timing parameters, channel
+ * counts, policies and workloads so the window horizon derivation is
+ * exercised well away from the defaults.  Also covers the shared
+ * thread-count env knob helper (common/env.hh).
+ */
+
+#include <cstdlib>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/env.hh"
+#include "sim/experiment.hh"
+#include "sim/parallel.hh"
+#include "sim/result_writer.hh"
+#include "sim/system.hh"
+
+namespace silc {
+namespace sim {
+namespace {
+
+/** Run one config and serialize the result the way the benches do. */
+std::string
+runJson(SystemConfig cfg, uint32_t sim_threads)
+{
+    cfg.sim_threads = sim_threads;
+    System system(cfg);
+    const SimResult r = system.run();
+    std::ostringstream os;
+    writeResultJson(os, r);
+    return os.str();
+}
+
+/** Small fig7-class config: default scaled machine, telemetry on. */
+SystemConfig
+fig7Config(const std::string &workload, PolicyKind kind)
+{
+    ExperimentOptions opts;
+    opts.cores = 4;
+    opts.instructions_per_core = 40'000;
+    opts.telemetry = true;
+    opts.epoch_ticks = 25'000;
+    return makeConfig(workload, kind, opts);
+}
+
+/** Small fig8-class config: the bandwidth-bound machine shape (full
+ *  HBM2 + DDR3 channel counts, lbm). */
+SystemConfig
+fig8Config()
+{
+    ExperimentOptions opts;
+    opts.cores = 8;
+    opts.instructions_per_core = 30'000;
+    opts.nm_bytes = 8 * 1024 * 1024;
+    opts.fm_bytes = 32 * 1024 * 1024;
+    opts.telemetry = true;
+    opts.epoch_ticks = 20'000;
+    SystemConfig cfg = makeConfig("lbm", PolicyKind::SilcFm, opts);
+    cfg.nm_timing = dram::hbm2Params();
+    cfg.fm_timing = dram::ddr3Params();
+    cfg.fm_timing.channels = 4;
+    return cfg;
+}
+
+TEST(SimParallelWindow, Fig7ByteIdenticalAcrossThreadCounts)
+{
+    for (PolicyKind kind :
+         {PolicyKind::SilcFm, PolicyKind::FmOnly, PolicyKind::Hma}) {
+        const SystemConfig cfg = fig7Config("mcf", kind);
+        const std::string seq = runJson(cfg, 1);
+        EXPECT_EQ(seq, runJson(cfg, 2))
+            << "threads=2 diverged, policy=" << policyKindName(kind);
+        EXPECT_EQ(seq, runJson(cfg, 4))
+            << "threads=4 diverged, policy=" << policyKindName(kind);
+    }
+}
+
+TEST(SimParallelWindow, Fig8ByteIdenticalAcrossThreadCounts)
+{
+    const SystemConfig cfg = fig8Config();
+    const std::string seq = runJson(cfg, 1);
+    EXPECT_EQ(seq, runJson(cfg, 2));
+    EXPECT_EQ(seq, runJson(cfg, 4));
+}
+
+TEST(SimParallelWindow, RandomizedTimingDifferential)
+{
+    // Deterministic sweep over the horizon-relevant knobs: CAS latency
+    // (sets the lookahead), CPU:mem clock ratio (sets scan alignment),
+    // channel counts (sets the lane partition) and the telemetry epoch
+    // (sets the window caps).
+    std::mt19937 rng(20260809);
+    const char *workloads[] = {"mcf", "lbm", "milc", "gcc"};
+    const PolicyKind kinds[] = {PolicyKind::SilcFm, PolicyKind::Cameo,
+                                PolicyKind::Pom, PolicyKind::Hma,
+                                PolicyKind::Random};
+
+    for (int trial = 0; trial < 6; ++trial) {
+        ExperimentOptions opts;
+        opts.cores = 2 + static_cast<uint32_t>(rng() % 3);
+        opts.instructions_per_core = 15'000 + rng() % 10'000;
+        opts.telemetry = true;
+        opts.epoch_ticks = 5'000 + rng() % 40'000;
+        SystemConfig cfg = makeConfig(
+            workloads[rng() % 4],
+            kinds[rng() % (sizeof(kinds) / sizeof(kinds[0]))], opts);
+
+        cfg.nm_timing.t_cas = 6 + rng() % 9;
+        cfg.fm_timing.t_cas = 8 + rng() % 10;
+        cfg.nm_timing.cpu_cycles_per_mem_cycle = 2 + rng() % 4;
+        cfg.fm_timing.cpu_cycles_per_mem_cycle = 3 + rng() % 4;
+        cfg.nm_timing.channels = 1u << (rng() % 3);  // 1, 2 or 4
+        cfg.fm_timing.channels = 1u << (rng() % 2);  // 1 or 2
+        cfg.nm_timing.queue_depth = 8 + rng() % 56;
+        cfg.fm_timing.queue_depth = 8 + rng() % 56;
+
+        const uint32_t threads = 2 + rng() % 3;
+        SCOPED_TRACE("trial " + std::to_string(trial) + " " +
+                     cfg.workload + "/" + policyKindName(cfg.policy) +
+                     " threads=" + std::to_string(threads));
+        EXPECT_EQ(runJson(cfg, 1), runJson(cfg, threads));
+    }
+}
+
+TEST(SimParallelWindow, DifferentialCheckerCleanUnderWindowedLoop)
+{
+    // The untimed SILC-FM oracle runs in lockstep and panics on any
+    // metadata divergence; a pass means the windowed loop presented the
+    // policy with exactly the sequential access stream.
+    SystemConfig cfg = fig7Config("mcf", PolicyKind::SilcFm);
+    cfg.check = true;
+    cfg.sim_threads = 4;
+    System system(cfg);
+    const SimResult r = system.run();
+    EXPECT_FALSE(r.hit_tick_limit);
+}
+
+TEST(SimParallelWindow, WindowStatsDumped)
+{
+    SystemConfig cfg = fig7Config("mcf", PolicyKind::SilcFm);
+    cfg.sim_threads = 2;
+    System system(cfg);
+    (void)system.run();
+    std::ostringstream os;
+    system.dumpStats(os);
+    EXPECT_NE(os.str().find("simpar.windows"), std::string::npos);
+    // The windowed counters must never leak into the results document.
+    std::ostringstream rj;
+    cfg.sim_threads = 2;
+    writeResultJson(rj, System(cfg).run());
+    EXPECT_EQ(rj.str().find("simpar"), std::string::npos);
+}
+
+TEST(SimParallelWindow, ZeroSimThreadsIsFatal)
+{
+    SystemConfig cfg = fig7Config("mcf", PolicyKind::SilcFm);
+    cfg.sim_threads = 0;
+    EXPECT_DEATH({ System system(cfg); }, "sim_threads");
+}
+
+// ---- common/env.hh: the shared validated thread-count knob ----------
+
+TEST(EnvKnobs, UnsetReturnsFallback)
+{
+    ::unsetenv("SILC_TEST_KNOB");
+    EXPECT_EQ(envThreadCount("SILC_TEST_KNOB", 7u), 7u);
+    EXPECT_EQ(envPositiveCount("SILC_TEST_KNOB", 42), 42u);
+}
+
+TEST(EnvKnobs, ValidValueParses)
+{
+    ::setenv("SILC_TEST_KNOB", "12", 1);
+    EXPECT_EQ(envThreadCount("SILC_TEST_KNOB", 1u), 12u);
+    ::unsetenv("SILC_TEST_KNOB");
+}
+
+TEST(EnvKnobs, RejectsZeroJunkAndOverflow)
+{
+    ::setenv("SILC_TEST_KNOB", "0", 1);
+    EXPECT_DEATH(envThreadCount("SILC_TEST_KNOB", 1u), "positive");
+    ::setenv("SILC_TEST_KNOB", "4abc", 1);
+    EXPECT_DEATH(envThreadCount("SILC_TEST_KNOB", 1u), "positive");
+    ::setenv("SILC_TEST_KNOB", "", 1);
+    EXPECT_DEATH(envThreadCount("SILC_TEST_KNOB", 1u), "positive");
+    ::setenv("SILC_TEST_KNOB", "-3", 1);
+    EXPECT_DEATH(envThreadCount("SILC_TEST_KNOB", 1u), "positive");
+    ::setenv("SILC_TEST_KNOB", "100000", 1);
+    EXPECT_DEATH(envThreadCount("SILC_TEST_KNOB", 1u), "maximum");
+    ::unsetenv("SILC_TEST_KNOB");
+}
+
+TEST(EnvKnobs, FooterFormattingIsLocaleStableFixedPoint)
+{
+    EXPECT_EQ(fixedDecimal(0.0, 2), "0.00");
+    EXPECT_EQ(fixedDecimal(1.234, 2), "1.23");
+    EXPECT_EQ(fixedDecimal(1.235, 2), "1.24");  // ties round up
+    EXPECT_EQ(fixedDecimal(1234.5, 1), "1234.5");
+    EXPECT_EQ(fixedDecimal(0.05, 1), "0.1");
+    EXPECT_EQ(fixedDecimal(12.0, 0), "12");
+    EXPECT_EQ(fixedDecimal(-1.0, 2), "0.00");  // clamped, never "-"
+}
+
+} // namespace
+} // namespace sim
+} // namespace silc

@@ -14,8 +14,10 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "sample/sampling.hh"
 #include "sim/parallel.hh"
 #include "sim/result_writer.hh"
 #include "trace/profiles.hh"
@@ -23,12 +25,70 @@
 using namespace silc;
 using namespace silc::sim;
 
+namespace {
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * --sample mode: the same table, but every run goes through the
+ * statistical sampler (src/sample/) sequentially.  Policies that cannot
+ * checkpoint (HMA's tick-coupled state) fall back to a full run, so the
+ * grid shape is unchanged.
+ */
+int
+sampledMain(int argc, char **argv, const ExperimentOptions &opts,
+            const std::vector<PolicyKind> &kinds)
+{
+    const sample::SamplingConfig scfg = sample::SamplingConfig::fromEnv();
+    std::vector<std::string> columns;
+    for (PolicyKind k : kinds)
+        columns.push_back(policyKindName(k));
+    printTableHeader("bench", columns);
+
+    ResultWriter writer(jsonOutputPath(argc, argv), opts);
+    const std::vector<std::string> workloads = trace::profileNames();
+    std::vector<std::vector<double>> per_scheme(kinds.size());
+    for (const auto &w : workloads) {
+        const SimResult base = sample::runMaybeSampled(
+            makeConfig(w, PolicyKind::FmOnly, opts), scfg);
+        writer.add(base);
+        std::vector<double> row;
+        for (size_t i = 0; i < kinds.size(); ++i) {
+            const SimResult r = sample::runMaybeSampled(
+                makeConfig(w, kinds[i], opts), scfg);
+            writer.add(r);
+            const double s = static_cast<double>(base.ticks) /
+                static_cast<double>(r.ticks);
+            per_scheme[i].push_back(s);
+            row.push_back(s);
+        }
+        printTableRow(w, row);
+        std::fflush(stdout);
+    }
+    printTableRule(columns.size());
+    std::vector<double> means;
+    for (const auto &col : per_scheme)
+        means.push_back(geomean(col));
+    printTableRow("geomean", means);
+    if (!writer.path().empty())
+        writer.write();
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ParallelRunner runner(opts);
-    runner.setJsonPath(jsonOutputPath(argc, argv));
 
     const std::vector<PolicyKind> kinds = {
         PolicyKind::Random, PolicyKind::Hma,  PolicyKind::Cameo,
@@ -40,6 +100,12 @@ main(int argc, char **argv)
                 opts.cores, u64str(opts.instructions_per_core).c_str(),
                 u64str(opts.nm_bytes >> 20).c_str(),
                 u64str(opts.fm_bytes >> 20).c_str());
+
+    if (hasFlag(argc, argv, "--sample"))
+        return sampledMain(argc, argv, opts, kinds);
+
+    ParallelRunner runner(opts);
+    runner.setJsonPath(jsonOutputPath(argc, argv));
 
     std::vector<std::string> columns;
     for (PolicyKind k : kinds)

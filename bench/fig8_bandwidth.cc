@@ -23,6 +23,7 @@
 #include <cstring>
 #include <vector>
 
+#include "sample/sampling.hh"
 #include "sim/parallel.hh"
 #include "sim/result_writer.hh"
 #include "trace/profiles.hh"
@@ -31,6 +32,51 @@ using namespace silc;
 using namespace silc::sim;
 
 namespace {
+
+/**
+ * --sample mode: the same NM-share table via the statistical sampler
+ * (src/sample/), sequentially; nmDemandFraction comes from the
+ * extrapolated window demand bytes.  HMA falls back to a full run.
+ */
+int
+runSampledMode(int argc, char **argv, const ExperimentOptions &opts,
+               const std::vector<PolicyKind> &kinds)
+{
+    const sample::SamplingConfig scfg = sample::SamplingConfig::fromEnv();
+    std::vector<std::string> columns;
+    for (PolicyKind k : kinds)
+        columns.push_back(policyKindName(k));
+    printTableHeader("bench", columns);
+
+    ResultWriter writer(jsonOutputPath(argc, argv), opts);
+    const std::vector<std::string> workloads = trace::profileNames();
+    std::vector<std::vector<double>> per_scheme(kinds.size());
+    for (const auto &w : workloads) {
+        std::vector<double> row;
+        for (size_t i = 0; i < kinds.size(); ++i) {
+            const SimResult r = sample::runMaybeSampled(
+                makeConfig(w, kinds[i], opts), scfg);
+            writer.add(r);
+            const double f = r.nmDemandFraction();
+            per_scheme[i].push_back(f);
+            row.push_back(f);
+        }
+        printTableRow(w, row);
+        std::fflush(stdout);
+    }
+    printTableRule(columns.size());
+    std::vector<double> means;
+    for (const auto &col : per_scheme) {
+        double sum = 0.0;
+        for (double v : col)
+            sum += v;
+        means.push_back(sum / static_cast<double>(col.size()));
+    }
+    printTableRow("average", means);
+    if (!writer.path().empty())
+        writer.write();
+    return 0;
+}
 
 /** The fig8-class perf fixture: paper bandwidth shape, one run. */
 int
@@ -74,14 +120,15 @@ runPerfMode()
 int
 main(int argc, char **argv)
 {
+    bool sampled = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--perf") == 0)
             return runPerfMode();
+        if (std::strcmp(argv[i], "--sample") == 0)
+            sampled = true;
     }
 
     ExperimentOptions opts = ExperimentOptions::fromEnv();
-    ParallelRunner runner(opts);
-    runner.setJsonPath(jsonOutputPath(argc, argv));
 
     const std::vector<PolicyKind> kinds = {
         PolicyKind::Random, PolicyKind::Hma,  PolicyKind::Cameo,
@@ -90,6 +137,12 @@ main(int argc, char **argv)
 
     std::printf("=== Figure 8: NM share of demand bandwidth "
                 "(ideal = 0.80) ===\n\n");
+    if (sampled)
+        return runSampledMode(argc, argv, opts, kinds);
+
+    ParallelRunner runner(opts);
+    runner.setJsonPath(jsonOutputPath(argc, argv));
+
     std::vector<std::string> columns;
     for (PolicyKind k : kinds)
         columns.push_back(policyKindName(k));

@@ -1,6 +1,7 @@
 #include "cache/cache.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace silc {
 namespace cache {
@@ -219,6 +220,40 @@ Cache::reset()
     lines_.assign(num_sets_ * params_.associativity, Line{});
     lru_clock_ = 0;
     rr_victim_ = 0;
+    hits_ = misses_ = evictions_ = writebacks_ = 0;
+}
+
+void
+Cache::snapshot(BlobWriter &w) const
+{
+    w.putU64(lines_.size());
+    for (const Line &l : lines_) {
+        w.putU64(l.tag);
+        w.putBool(l.valid);
+        w.putBool(l.dirty);
+        w.putU64(l.lru);
+    }
+    w.putU64(lru_clock_);
+    w.putU64(rr_victim_);
+}
+
+void
+Cache::restore(BlobReader &r)
+{
+    const uint64_t n = r.getU64();
+    if (n != lines_.size()) {
+        fatal("%s: checkpoint has %llu lines, cache has %zu (geometry "
+              "mismatch)", params_.name.c_str(),
+              static_cast<unsigned long long>(n), lines_.size());
+    }
+    for (Line &l : lines_) {
+        l.tag = r.getU64();
+        l.valid = r.getBool();
+        l.dirty = r.getBool();
+        l.lru = r.getU64();
+    }
+    lru_clock_ = r.getU64();
+    rr_victim_ = r.getU64();
     hits_ = misses_ = evictions_ = writebacks_ = 0;
 }
 

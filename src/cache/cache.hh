@@ -18,6 +18,10 @@
 #include "common/types.hh"
 
 namespace silc {
+
+class BlobWriter;
+class BlobReader;
+
 namespace cache {
 
 /** Replacement policy selector. */
@@ -113,6 +117,15 @@ class Cache
 
     /** Invalidate everything and clear statistics. */
     void reset();
+
+    /**
+     * Serialize the array contents (tags, valid/dirty bits, LRU state)
+     * for checkpointing.  Hit/miss statistics are deliberately NOT
+     * captured: replays measure deltas from a fresh zero, so restore()
+     * zeroes them.
+     */
+    void snapshot(BlobWriter &w) const;
+    void restore(BlobReader &r);
 
   private:
     struct Line

@@ -11,6 +11,7 @@
 #ifndef SILC_COMMON_RNG_HH
 #define SILC_COMMON_RNG_HH
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -81,6 +82,21 @@ class Rng
     chance(double p)
     {
         return uniform() < p;
+    }
+
+    /** The raw xoshiro256** state, for checkpoint serialization. */
+    std::array<uint64_t, 4>
+    state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    /** Restore state captured by state(). */
+    void
+    setState(const std::array<uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = s[i];
     }
 
   private:

@@ -81,6 +81,25 @@ Distribution::percentile(double p) const
     return max_;
 }
 
+Distribution
+Distribution::minus(const Distribution &earlier) const
+{
+    silc_assert(min_ == earlier.min_ && max_ == earlier.max_ &&
+                buckets_.size() == earlier.buckets_.size());
+    silc_assert(n_ >= earlier.n_ && underflow_ >= earlier.underflow_ &&
+                overflow_ >= earlier.overflow_);
+    Distribution d(min_, max_, buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        silc_assert(buckets_[i] >= earlier.buckets_[i]);
+        d.buckets_[i] = buckets_[i] - earlier.buckets_[i];
+    }
+    d.underflow_ = underflow_ - earlier.underflow_;
+    d.overflow_ = overflow_ - earlier.overflow_;
+    d.n_ = n_ - earlier.n_;
+    d.sum_ = sum_ - earlier.sum_;
+    return d;
+}
+
 void
 Distribution::reset()
 {

@@ -131,6 +131,16 @@ class Distribution : public StatBase
      */
     double percentile(double p) const;
 
+    /**
+     * Bucket-wise difference against an earlier snapshot of the same
+     * histogram: the returned distribution holds exactly the samples
+     * recorded after @p earlier was copied.  Both operands must share
+     * geometry (min/max/bucket count) and @p earlier must be a prefix
+     * (every count <= ours); the sampling subsystem uses this to turn
+     * cumulative DRAM latency histograms into per-window ones.
+     */
+    Distribution minus(const Distribution &earlier) const;
+
     void reset() override;
     std::string render() const override;
 

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "common/serialize.hh"
+
 namespace silc {
 namespace core {
 
@@ -51,6 +53,21 @@ class AgingSchedule
 
     uint64_t accesses() const { return accesses_; }
     uint64_t sweeps() const { return sweeps_; }
+
+    /** Serialize / restore the access/sweep counters. */
+    void
+    snapshot(BlobWriter &w) const
+    {
+        w.putU64(accesses_);
+        w.putU64(sweeps_);
+    }
+
+    void
+    restore(BlobReader &r)
+    {
+        accesses_ = r.getU64();
+        sweeps_ = r.getU64();
+    }
 
   private:
     uint64_t interval_;

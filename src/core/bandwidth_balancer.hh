@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "common/serialize.hh"
+
 namespace silc {
 namespace core {
 
@@ -45,6 +47,29 @@ class BandwidthBalancer
 
     uint64_t windowsElapsed() const { return windows_; }
     uint64_t bypassedWindows() const { return bypassed_windows_; }
+
+    /** Serialize / restore the window state (ctor params excluded). */
+    void
+    snapshot(BlobWriter &w) const
+    {
+        w.putU64(in_window_);
+        w.putU64(nm_in_window_);
+        w.putBool(bypassing_);
+        w.putF64(last_rate_);
+        w.putU64(windows_);
+        w.putU64(bypassed_windows_);
+    }
+
+    void
+    restore(BlobReader &r)
+    {
+        in_window_ = r.getU64();
+        nm_in_window_ = r.getU64();
+        bypassing_ = r.getBool();
+        last_rate_ = r.getF64();
+        windows_ = r.getU64();
+        bypassed_windows_ = r.getU64();
+    }
 
   private:
     bool enabled_;

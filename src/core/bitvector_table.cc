@@ -1,6 +1,7 @@
 #include "core/bitvector_table.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace silc {
 namespace core {
@@ -48,6 +49,50 @@ BitVectorTable::reset()
 {
     std::fill(table_.begin(), table_.end(), 0);
     saves_ = hits_ = lookups_ = 0;
+}
+
+void
+BitVectorTable::snapshot(BlobWriter &w) const
+{
+    // The table is large (paper: 1M entries) but mostly empty on short
+    // warming runs; store only the populated slots.
+    uint64_t populated = 0;
+    for (uint32_t v : table_) {
+        if (v != 0)
+            ++populated;
+    }
+    w.putU64(table_.size());
+    w.putU64(populated);
+    for (uint64_t i = 0; i < table_.size(); ++i) {
+        if (table_[i] != 0) {
+            w.putU64(i);
+            w.putU32(table_[i]);
+        }
+    }
+    w.putU64(saves_);
+    w.putU64(hits_);
+    w.putU64(lookups_);
+}
+
+void
+BitVectorTable::restore(BlobReader &r)
+{
+    const uint64_t n = r.getU64();
+    if (n != table_.size())
+        fatal("bit vector table restore: %llu entries vs %zu",
+              static_cast<unsigned long long>(n), table_.size());
+    std::fill(table_.begin(), table_.end(), 0);
+    const uint64_t populated = r.getU64();
+    for (uint64_t i = 0; i < populated; ++i) {
+        const uint64_t idx = r.getU64();
+        if (idx >= table_.size())
+            fatal("bit vector table restore: index %llu out of range",
+                  static_cast<unsigned long long>(idx));
+        table_[idx] = r.getU32();
+    }
+    saves_ = r.getU64();
+    hits_ = r.getU64();
+    lookups_ = r.getU64();
 }
 
 } // namespace core

@@ -18,6 +18,10 @@
 #include "common/types.hh"
 
 namespace silc {
+
+class BlobWriter;
+class BlobReader;
+
 namespace core {
 
 /** Direct-mapped, tagless SRAM table of subblock-usage bit vectors. */
@@ -45,6 +49,10 @@ class BitVectorTable
     uint64_t lookups() const { return lookups_; }
 
     void reset();
+
+    /** Serialize / restore contents (sparse: non-empty entries only). */
+    void snapshot(BlobWriter &w) const;
+    void restore(BlobReader &r);
 
   private:
     std::vector<uint32_t> table_;

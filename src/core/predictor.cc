@@ -1,6 +1,7 @@
 #include "core/predictor.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace silc {
 namespace core {
@@ -54,6 +55,52 @@ WayPredictor::reset()
 {
     std::fill(table_.begin(), table_.end(), Entry{});
     predictions_ = way_hits_ = location_hits_ = 0;
+}
+
+void
+WayPredictor::snapshot(BlobWriter &w) const
+{
+    uint64_t valid = 0;
+    for (const Entry &e : table_) {
+        if (e.valid)
+            ++valid;
+    }
+    w.putU64(table_.size());
+    w.putU64(valid);
+    for (uint64_t i = 0; i < table_.size(); ++i) {
+        if (table_[i].valid) {
+            w.putU64(i);
+            w.putU8(table_[i].way);
+            w.putBool(table_[i].in_fm);
+        }
+    }
+    w.putU64(predictions_);
+    w.putU64(way_hits_);
+    w.putU64(location_hits_);
+}
+
+void
+WayPredictor::restore(BlobReader &r)
+{
+    const uint64_t n = r.getU64();
+    if (n != table_.size())
+        fatal("way predictor restore: %llu entries vs %zu",
+              static_cast<unsigned long long>(n), table_.size());
+    std::fill(table_.begin(), table_.end(), Entry{});
+    const uint64_t valid = r.getU64();
+    for (uint64_t i = 0; i < valid; ++i) {
+        const uint64_t idx = r.getU64();
+        if (idx >= table_.size())
+            fatal("way predictor restore: index %llu out of range",
+                  static_cast<unsigned long long>(idx));
+        Entry &e = table_[idx];
+        e.valid = true;
+        e.way = r.getU8();
+        e.in_fm = r.getBool();
+    }
+    predictions_ = r.getU64();
+    way_hits_ = r.getU64();
+    location_hits_ = r.getU64();
 }
 
 } // namespace core

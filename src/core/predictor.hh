@@ -19,6 +19,10 @@
 #include "common/types.hh"
 
 namespace silc {
+
+class BlobWriter;
+class BlobReader;
+
 namespace core {
 
 /** One prediction. */
@@ -60,6 +64,10 @@ class WayPredictor
     }
 
     void reset();
+
+    /** Serialize / restore contents (sparse: valid entries only). */
+    void snapshot(BlobWriter &w) const;
+    void restore(BlobReader &r);
 
   private:
     struct Entry

@@ -1,6 +1,7 @@
 #include "core/set_metadata.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace silc {
 namespace core {
@@ -66,6 +67,50 @@ NmMetadata::ageCounters()
         m.nm_counter >>= 1;
         m.fm_counter >>= 1;
     }
+}
+
+void
+NmMetadata::snapshot(BlobWriter &w) const
+{
+    w.putU64(frames_.size());
+    for (const WayMeta &m : frames_) {
+        w.putU64(m.remap);
+        w.putU32(m.bv.raw());
+        w.putU32(m.used.raw());
+        w.putBool(m.locked);
+        w.putBool(m.native_locked);
+        w.putU64(m.lru);
+        w.putU8(m.nm_counter);
+        w.putU8(m.fm_counter);
+        w.putU64(m.first_pc);
+        w.putU64(m.first_addr);
+        w.putBool(m.has_signature);
+    }
+    w.putU64(lru_clock_);
+}
+
+void
+NmMetadata::restore(BlobReader &r)
+{
+    const uint64_t n = r.getU64();
+    if (n != frames_.size())
+        fatal("silcfm restore: checkpoint has %llu NM frames, metadata "
+              "has %zu", static_cast<unsigned long long>(n),
+              frames_.size());
+    for (WayMeta &m : frames_) {
+        m.remap = r.getU64();
+        m.bv = SubblockVector{r.getU32()};
+        m.used = SubblockVector{r.getU32()};
+        m.locked = r.getBool();
+        m.native_locked = r.getBool();
+        m.lru = r.getU64();
+        m.nm_counter = r.getU8();
+        m.fm_counter = r.getU8();
+        m.first_pc = r.getU64();
+        m.first_addr = r.getU64();
+        m.has_signature = r.getBool();
+    }
+    lru_clock_ = r.getU64();
 }
 
 } // namespace core

@@ -21,6 +21,10 @@
 #include "common/types.hh"
 
 namespace silc {
+
+class BlobWriter;
+class BlobReader;
+
 namespace core {
 
 /** Sentinel: no FM page interleaved into this frame. */
@@ -121,6 +125,10 @@ class NmMetadata
 
     /** Age every activity counter by one right-shift (Section III-B). */
     void ageCounters();
+
+    /** Serialize / restore the full frame array and LRU clock. */
+    void snapshot(BlobWriter &w) const;
+    void restore(BlobReader &r);
 
   private:
     std::vector<WayMeta> frames_;

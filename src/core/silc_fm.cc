@@ -1,6 +1,7 @@
 #include "core/silc_fm.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "telemetry/sampler.hh"
 
 namespace silc {
@@ -533,6 +534,42 @@ SilcFmPolicy::verifyIntegrity() const
         }
     }
     return true;
+}
+
+void
+SilcFmPolicy::snapshotState(BlobWriter &w) const
+{
+    FlatMemoryPolicy::snapshotState(w);
+    meta_.snapshot(w);
+    history_.snapshot(w);
+    predictor_.snapshot(w);
+    balancer_.snapshot(w);
+    aging_.snapshot(w);
+    w.putU64(swaps_);
+    w.putU64(restores_);
+    w.putU64(locks_);
+    w.putU64(unlocks_);
+    w.putU64(history_fetched_);
+    w.putU64(bypassed_);
+    w.putU64(all_locked_);
+}
+
+void
+SilcFmPolicy::restoreState(BlobReader &r)
+{
+    FlatMemoryPolicy::restoreState(r);
+    meta_.restore(r);
+    history_.restore(r);
+    predictor_.restore(r);
+    balancer_.restore(r);
+    aging_.restore(r);
+    swaps_ = r.getU64();
+    restores_ = r.getU64();
+    locks_ = r.getU64();
+    unlocks_ = r.getU64();
+    history_fetched_ = r.getU64();
+    bypassed_ = r.getU64();
+    all_locked_ = r.getU64();
 }
 
 } // namespace core

@@ -134,6 +134,10 @@ class SilcFmPolicy : public policy::FlatMemoryPolicy
     policy::Location locate(Addr paddr) const override;
     void registerTelemetry(telemetry::Sampler &sampler) const override;
 
+    bool supportsSampling() const override { return true; }
+    void snapshotState(BlobWriter &w) const override;
+    void restoreState(BlobReader &r) override;
+
     // ---- Introspection for tests and benches. ----
 
     const SilcFmParams &params() const { return params_; }

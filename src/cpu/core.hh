@@ -71,6 +71,20 @@ class Core
     /** Advance one cycle: retire then dispatch. */
     void tick(Tick now);
 
+    /**
+     * Functional-warming cycle: dispatch-and-retire up to `width`
+     * instructions without ROB bookkeeping.  Valid only while the
+     * memory system is in functional mode, where every access is
+     * accepted and completes synchronously — under that invariant the
+     * access stream this emits is identical to tick()'s (width
+     * instructions per core per cycle, in dispatch order), it just
+     * skips the per-entry ROB and completion-callback machinery that
+     * dominates warming time.  Budget pause points behave exactly as
+     * with tick(): the staged slot carries across calls and the core
+     * reports done() at the same retired count.
+     */
+    void functionalTick(Tick now);
+
     /** True once the instruction budget has fully retired. */
     bool done() const { return retired_ >= params_.instruction_budget; }
 
@@ -117,6 +131,24 @@ class Core
     {
         retire_stalls_ += n;
         rob_full_cycles_ += n;
+    }
+
+    uint64_t instructionBudget() const
+    {
+        return params_.instruction_budget;
+    }
+
+    /**
+     * Extend (or shrink) the retire target.  The sampling run loop
+     * pauses the system at per-core instruction boundaries by walking
+     * the budget forward between System::runToBudget() calls; at a
+     * pause point the ROB is empty and the staged slot clear, so
+     * re-entering tick() with a larger budget resumes dispatch exactly
+     * where the trace left off.
+     */
+    void setInstructionBudget(uint64_t budget)
+    {
+        params_.instruction_budget = budget;
     }
 
   private:

@@ -54,6 +54,10 @@ class CameoPolicy : public FlatMemoryPolicy
                       DemandCallback done, Tick now) override;
     Location locate(Addr paddr) const override;
 
+    bool supportsSampling() const override { return true; }
+    void snapshotState(BlobWriter &w) const override;
+    void restoreState(BlobReader &r) override;
+
     uint64_t swaps() const { return swaps_; }
     uint64_t prefetches() const { return prefetches_; }
     uint64_t llpCorrect() const { return llp_correct_; }

@@ -1,6 +1,7 @@
 #include "policy/policy.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "telemetry/sampler.hh"
 
 namespace silc {
@@ -45,6 +46,15 @@ FlatMemoryPolicy::issueRead(dram::DramSystem &dev, Addr dev_addr,
                             CoreId core, DemandCallback cb, Tick now,
                             int force_channel)
 {
+    // Functional (warming) mode: the data is "available" immediately and
+    // no timing state is touched.  Completing synchronously keeps
+    // dependent chains (migration read->write, serialized metadata
+    // fetches) running so the policy state machines behave identically.
+    if (functional_mode_) {
+        if (cb)
+            cb(now);
+        return;
+    }
     dram::DramRequest req;
     req.addr = dev_addr;
     req.is_write = false;
@@ -61,6 +71,8 @@ FlatMemoryPolicy::issueWrite(dram::DramSystem &dev, Addr dev_addr,
                              uint32_t bytes, dram::TrafficClass cls,
                              CoreId core, Tick now, int force_channel)
 {
+    if (functional_mode_)
+        return;
     dram::DramRequest req;
     req.addr = dev_addr;
     req.is_write = true;
@@ -113,6 +125,22 @@ FlatMemoryPolicy::writeback(Addr paddr, CoreId core, Tick now)
     issueWrite(deviceFor(loc), loc.device_addr,
                static_cast<uint32_t>(kSubblockSize),
                dram::TrafficClass::Writeback, core, now);
+}
+
+void
+FlatMemoryPolicy::snapshotState(BlobWriter &w) const
+{
+    w.putU64(nm_serviced_);
+    w.putU64(fm_serviced_);
+    w.putU64(migration_ops_);
+}
+
+void
+FlatMemoryPolicy::restoreState(BlobReader &r)
+{
+    nm_serviced_ = r.getU64();
+    fm_serviced_ = r.getU64();
+    migration_ops_ = r.getU64();
 }
 
 } // namespace policy

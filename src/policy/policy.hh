@@ -28,6 +28,9 @@
 
 namespace silc {
 
+class BlobWriter;
+class BlobReader;
+
 namespace telemetry {
 class Sampler;
 } // namespace telemetry
@@ -138,6 +141,33 @@ class FlatMemoryPolicy
 
     uint64_t migrationOps() const { return migration_ops_; }
 
+    // ---- Functional (warming) mode and checkpointing. ----
+
+    /**
+     * In functional mode the policy's remap/metadata state machines run
+     * unchanged, but nothing is issued into the DRAM devices: reads
+     * complete synchronously at `now` and writes vanish.  The sampling
+     * subsystem uses this to fast-forward between measurement windows
+     * while keeping NM contents, locks, and predictors warm.
+     */
+    void setFunctionalMode(bool on) { functional_mode_ = on; }
+    bool functionalMode() const { return functional_mode_; }
+
+    /**
+     * Whether this policy's state round-trips through
+     * snapshotState()/restoreState() (epoch schemes whose behavior is
+     * coupled to detailed-mode tick counts return false and are run in
+     * full when sampling is requested).
+     */
+    virtual bool supportsSampling() const { return false; }
+
+    /**
+     * Serialize policy state for checkpointing.  The base captures the
+     * service counters; overrides chain up then append their own state.
+     */
+    virtual void snapshotState(BlobWriter &w) const;
+    virtual void restoreState(BlobReader &r);
+
   protected:
     /** Record where the critical data of a demand access came from. */
     void
@@ -176,6 +206,7 @@ class FlatMemoryPolicy
     uint64_t nm_serviced_ = 0;
     uint64_t fm_serviced_ = 0;
     uint64_t migration_ops_ = 0;
+    bool functional_mode_ = false;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "policy/pom.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace silc {
 namespace policy {
@@ -137,6 +138,38 @@ PomPolicy::demandAccess(Addr paddr, bool is_write, CoreId core, Addr pc,
 
     if (++accesses_ % params_.decay_interval == 0)
         decayCounters();
+}
+
+void
+PomPolicy::snapshotState(BlobWriter &w) const
+{
+    FlatMemoryPolicy::snapshotState(w);
+    w.putU64(resident_.size());
+    for (uint8_t v : resident_)
+        w.putU8(v);
+    w.putU64(counters_.size());
+    for (uint8_t v : counters_)
+        w.putU8(v);
+    w.putU64(accesses_);
+    w.putU64(migrations_);
+    w.putU64(restores_);
+}
+
+void
+PomPolicy::restoreState(BlobReader &r)
+{
+    FlatMemoryPolicy::restoreState(r);
+    if (r.getU64() != resident_.size())
+        fatal("pom restore: residency table size mismatch");
+    for (uint8_t &v : resident_)
+        v = r.getU8();
+    if (r.getU64() != counters_.size())
+        fatal("pom restore: counter table size mismatch");
+    for (uint8_t &v : counters_)
+        v = r.getU8();
+    accesses_ = r.getU64();
+    migrations_ = r.getU64();
+    restores_ = r.getU64();
 }
 
 } // namespace policy

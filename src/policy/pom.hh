@@ -43,6 +43,10 @@ class PomPolicy : public FlatMemoryPolicy
                       DemandCallback done, Tick now) override;
     Location locate(Addr paddr) const override;
 
+    bool supportsSampling() const override { return true; }
+    void snapshotState(BlobWriter &w) const override;
+    void restoreState(BlobReader &r) override;
+
     uint64_t migrations() const { return migrations_; }
     uint64_t restores() const { return restores_; }
 

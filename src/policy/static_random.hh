@@ -28,6 +28,9 @@ class FmOnlyPolicy : public FlatMemoryPolicy
     void demandAccess(Addr paddr, bool is_write, CoreId core, Addr pc,
                       DemandCallback done, Tick now) override;
     Location locate(Addr paddr) const override;
+
+    /** Stateless beyond the base counters. */
+    bool supportsSampling() const override { return true; }
 };
 
 /**
@@ -46,6 +49,9 @@ class StaticRandomPolicy : public FlatMemoryPolicy
     void demandAccess(Addr paddr, bool is_write, CoreId core, Addr pc,
                       DemandCallback done, Tick now) override;
     Location locate(Addr paddr) const override;
+
+    /** Stateless beyond the base counters. */
+    bool supportsSampling() const override { return true; }
 };
 
 } // namespace policy

@@ -39,6 +39,21 @@
  *                      in lockstep with every SILC-FM run; the process
  *                      panics on the first divergence.  Ignored (with
  *                      no oracle attached) for non-SILC-FM schemes.
+ *
+ * Sampling knobs (see src/sample/sampling.hh; active in
+ * bench/sampling_sweep and the benches' --sample modes):
+ *   SILC_SAMPLE_PERIOD      - instructions/core between checkpoints
+ *                             during functional warming (default 200000)
+ *   SILC_SAMPLE_WINDOW      - detailed measurement window per
+ *                             checkpoint, instructions/core (default
+ *                             5000)
+ *   SILC_SAMPLE_WARMUP      - detailed timing re-warm prefix before
+ *                             each window, discarded (default 5000)
+ *   SILC_SAMPLE_MIN_WINDOWS - windows required before CI-driven early
+ *                             stopping may trigger (default 5)
+ *   SILC_SAMPLE_CI_TARGET   - stop adding windows once the IPC 95% CI
+ *                             half-width / mean falls to this value;
+ *                             0 (default) replays every checkpoint.
  */
 
 #ifndef SILC_SIM_EXPERIMENT_HH

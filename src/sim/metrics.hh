@@ -20,6 +20,10 @@ namespace telemetry {
 struct TimeSeries;
 } // namespace telemetry
 
+namespace sample {
+struct SamplingReport;
+} // namespace sample
+
 namespace sim {
 
 /** Everything a bench needs from one run. */
@@ -72,6 +76,13 @@ struct SimResult
      * SimResult stays cheap to copy through the parallel harness.
      */
     std::shared_ptr<const telemetry::TimeSeries> telemetry;
+
+    /**
+     * Per-metric means and 95% confidence intervals of a sampled run
+     * (src/sample/); null for full detailed runs.  Shared and immutable
+     * for the same reason as the telemetry series.
+     */
+    std::shared_ptr<const sample::SamplingReport> sampling;
 
     /** Demand-bandwidth share serviced by NM (Figure 8). */
     double nmDemandFraction() const;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "sample/sampling.hh"
 #include "telemetry/json.hh"
 #include "telemetry/series.hh"
 
@@ -123,6 +124,26 @@ writeResultJson(std::ostream &os, const SimResult &r)
     field(os, "edp", r.edp, first);
     field(os, "seconds", r.seconds(), first);
     field(os, "nm_demand_fraction", r.nmDemandFraction(), first);
+    if (r.sampling) {
+        const auto &sr = *r.sampling;
+        os << ",\"sampling\":{\"period\":" << sr.period
+           << ",\"window\":" << sr.window << ",\"warmup\":" << sr.warmup
+           << ",\"checkpoints\":" << sr.checkpoints
+           << ",\"windows\":" << sr.windows << ",\"early_stopped\":"
+           << (sr.early_stopped ? 1 : 0)
+           << ",\"warm_instructions\":" << sr.warm_instructions
+           << ",\"metrics\":[";
+        for (size_t i = 0; i < sr.metrics.size(); ++i) {
+            const auto &m = sr.metrics[i];
+            if (i)
+                os << ',';
+            os << "{\"name\":" << jsonString(m.name)
+               << ",\"mean\":" << jsonDouble(m.mean)
+               << ",\"ci_half\":" << jsonDouble(m.ci_half)
+               << ",\"n\":" << m.n << '}';
+        }
+        os << "]}";
+    }
     if (r.telemetry) {
         os << ",\"telemetry\":";
         writeSeriesJson(os, *r.telemetry);

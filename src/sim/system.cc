@@ -4,6 +4,7 @@
 
 #include "check/differential.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/stats.hh"
 #include "policy/static_random.hh"
 #include "sim/domain.hh"
@@ -188,6 +189,35 @@ MemoryHierarchy::access(CoreId core, Addr vaddr, Addr pc, bool is_write,
     const Addr block = subblockAddr(paddr);
 
     if (!l2_hit) {
+        if (warming_) {
+            // Functional warming: the policy's metadata state machine
+            // runs in full (it is in functional mode, so nothing
+            // reaches the DRAM devices and the demand completes
+            // synchronously), the caches fill immediately, and the MSHR
+            // file is bypassed entirely.  Skipping MSHR coalescing is
+            // the standard functional-warming approximation: with no
+            // outstanding misses every access resolves against
+            // up-to-date cache and metadata state.
+            ++llc_misses_[core];
+            ++llc_misses_total_;
+            policy_.demandAccess(block, is_write, core, pc, nullptr,
+                                 now);
+            auto o2 = l2_.fill(paddr, false);
+            if (o2.writeback)
+                policy_.writeback(o2.writeback_addr, core, now);
+            auto o1 = l1.fill(paddr, is_write);
+            if (o1.writeback) {
+                auto ol2 = l2_.fill(o1.writeback_addr, true);
+                if (ol2.writeback)
+                    policy_.writeback(ol2.writeback_addr, core, now);
+            }
+            l1.noteMiss();
+            l2_.noteMiss();
+            if (done)
+                done(now + 1);
+            return true;
+        }
+
         // Demand miss at the LLC: needs an MSHR.
         auto fill_cb = [this, core, paddr, is_write,
                         done = std::move(done)](Tick t) mutable {
@@ -240,6 +270,45 @@ MemoryHierarchy::access(CoreId core, Addr vaddr, Addr pc, bool is_write,
     if (done)
         done(now + cfg_.l2_latency);
     return true;
+}
+
+void
+MemoryHierarchy::snapshot(BlobWriter &w) const
+{
+    w.putU32(static_cast<uint32_t>(l1d_.size()));
+    for (size_t c = 0; c < l1d_.size(); ++c) {
+        l1i_[c].snapshot(w);
+        l1d_[c].snapshot(w);
+    }
+    l2_.snapshot(w);
+    for (Addr a : last_iline_)
+        w.putU64(a);
+    for (uint64_t m : llc_misses_)
+        w.putU64(m);
+    w.putU64(llc_misses_total_);
+    w.putF64(miss_latency_sum_);
+    w.putU64(misses_completed_);
+}
+
+void
+MemoryHierarchy::restore(BlobReader &r)
+{
+    const uint32_t cores = r.getU32();
+    if (cores != l1d_.size())
+        fatal("hierarchy checkpoint core count %u != configured %zu",
+              cores, l1d_.size());
+    for (size_t c = 0; c < l1d_.size(); ++c) {
+        l1i_[c].restore(r);
+        l1d_[c].restore(r);
+    }
+    l2_.restore(r);
+    for (Addr &a : last_iline_)
+        a = r.getU64();
+    for (uint64_t &m : llc_misses_)
+        m = r.getU64();
+    llc_misses_total_ = r.getU64();
+    miss_latency_sum_ = r.getF64();
+    misses_completed_ = r.getU64();
 }
 
 // ---- System ------------------------------------------------------------
@@ -350,14 +419,38 @@ System::run()
     if (cfg_.sim_threads >= 2)
         return runWindowed();
 
-    Tick cycle = 0;
+    return collectResult(runToBudget());
+}
+
+bool
+System::runToBudget()
+{
+    silc_assert(cfg_.sim_threads == 1);
+
+    // Resumable: cycle_ is a member, so after extending the per-core
+    // budgets a second call re-enters at the pause cycle.  Re-running
+    // that cycle is idempotent — its events already fired (runDue pops
+    // nothing), the ROB is empty so the retire loop is a no-op, and the
+    // device ticks see unchanged queues — so dispatch resumes exactly
+    // where the previous budget ended.
     bool all_done = false;
-    while (cycle < cfg_.max_ticks) {
+    while (cycle_ < cfg_.max_ticks) {
+        const Tick cycle = cycle_;
         events_.runDue(cycle);
         all_done = true;
-        for (auto &core : cores_) {
-            core->tick(cycle);
-            all_done &= core->done();
+        if (functional_) {
+            // Functional warming: same access stream as tick() (width
+            // instructions per core per cycle, cores in order), minus
+            // the ROB machinery — see Core::functionalTick.
+            for (auto &core : cores_) {
+                core->functionalTick(cycle);
+                all_done &= core->done();
+            }
+        } else {
+            for (auto &core : cores_) {
+                core->tick(cycle);
+                all_done &= core->done();
+            }
         }
         if (nm_)
             nm_->tick(cycle);
@@ -365,7 +458,7 @@ System::run()
         policy_->tick(cycle);
         if (all_done)
             break;
-        ++cycle;
+        cycle_ = cycle + 1;
 
         // Fast-forward: when every live core is in the counters-only
         // stall state, nothing can happen before the earliest wakeup
@@ -379,7 +472,7 @@ System::run()
             if (core->done())
                 continue;
             const Tick su = core->stallUntil();
-            if (su <= cycle) {
+            if (su <= cycle_) {
                 skippable = false;
                 break;
             }
@@ -393,17 +486,95 @@ System::run()
         wake = std::min(wake, fm_->nextWakeTick());
         wake = std::min(wake, policy_->nextWakeTick());
         wake = std::min(wake, cfg_.max_ticks);
-        if (wake <= cycle)
+        if (wake <= cycle_)
             continue;
-        const uint64_t skipped = wake - cycle;
+        const uint64_t skipped = wake - cycle_;
         for (auto &core : cores_) {
             if (!core->done())
                 core->addStalledCycles(skipped);
         }
-        cycle = wake;
+        cycle_ = wake;
     }
 
-    return collectResult(all_done);
+    return all_done;
+}
+
+void
+System::setFunctionalMode(bool on)
+{
+    policy_->setFunctionalMode(on);
+    hierarchy_->setWarming(on);
+    functional_ = on;
+}
+
+void
+System::setPerCoreBudget(uint64_t instructions)
+{
+    cfg_.instructions_per_core = instructions;
+    for (auto &core : cores_)
+        core->setInstructionBudget(instructions);
+}
+
+void
+System::snapshotState(BlobWriter &w) const
+{
+    // Only legal at a quiesced functional-mode pause point: nothing in
+    // flight, so timing state need not (and must not) be captured.
+    silc_assert(hierarchy_->mshrs().size() == 0);
+    silc_assert(fm_->idle());
+    silc_assert(!nm_ || nm_->idle());
+
+    w.section("SILC");
+    w.putU32(1); // checkpoint format version
+    w.putStr(policy_->name());
+    w.putU32(cfg_.cores);
+
+    w.section("TRNS");
+    translation_->snapshot(w);
+
+    w.section("HIER");
+    hierarchy_->snapshot(w);
+
+    w.section("POLI");
+    policy_->snapshotState(w);
+
+    for (const auto &t : traces_) {
+        w.section("TRCE");
+        t->snapshot(w);
+    }
+}
+
+void
+System::restoreState(BlobReader &r)
+{
+    r.expect("SILC");
+    const uint32_t version = r.getU32();
+    if (version != 1)
+        fatal("checkpoint format version %u unsupported (expected 1)",
+              version);
+    const std::string pname = r.getStr();
+    if (pname != policy_->name())
+        fatal("checkpoint policy '%s' does not match system policy '%s'",
+              pname.c_str(), policy_->name());
+    const uint32_t cores = r.getU32();
+    if (cores != cfg_.cores)
+        fatal("checkpoint core count %u does not match config (%u)",
+              cores, cfg_.cores);
+
+    r.expect("TRNS");
+    translation_->restore(r);
+
+    r.expect("HIER");
+    hierarchy_->restore(r);
+
+    r.expect("POLI");
+    policy_->restoreState(r);
+
+    for (auto &t : traces_) {
+        r.expect("TRCE");
+        t->restore(r);
+    }
+    r.done();
 }
 
 /**

@@ -145,6 +145,53 @@ class System
     /** Run to completion (or the tick limit) and collect metrics. */
     SimResult run();
 
+    // ---- Sampling hooks (src/sample/). ----
+
+    /**
+     * Advance the sequential cycle loop until every core has retired
+     * its current instruction budget (or the tick limit hits).  Unlike
+     * run(), the loop is resumable: the cycle counter is a member, so
+     * extending the per-core budgets and calling runToBudget() again
+     * continues the same simulation.  Requires sim_threads == 1.
+     *
+     * @retval true  all cores retired their budgets
+     * @retval false the max_ticks cutoff fired first
+     */
+    bool runToBudget();
+
+    /** Metric extraction over the current state (shared by run()). */
+    SimResult collectResult(bool all_done);
+
+    /**
+     * Switch the policy and hierarchy into functional-warming mode:
+     * caches, translation, and policy metadata update as usual, but LLC
+     * misses complete synchronously (no MSHR, no DRAM traffic) — the
+     * fast-forward phase between detailed sampling windows.
+     */
+    void setFunctionalMode(bool on);
+
+    /** Replace every core's instruction budget (see runToBudget()). */
+    void setPerCoreBudget(uint64_t instructions);
+
+    /**
+     * Serialize the architectural state (translation, caches, policy
+     * metadata, trace positions) into a checkpoint blob.  Only legal at
+     * a functional-mode pause point: the MSHR file must be empty and
+     * both DRAM systems idle.  Timing state is deliberately excluded —
+     * replays start from quiesced devices and re-warm them during the
+     * detailed-warmup prefix of each window.
+     */
+    void snapshotState(BlobWriter &w) const;
+
+    /** Restore state captured by snapshotState() on an identically
+     *  configured System. */
+    void restoreState(BlobReader &r);
+
+    /** Current cycle of the resumable sequential loop. */
+    Tick currentCycle() const { return cycle_; }
+
+    Translation &translation() { return *translation_; }
+
     /**
      * Dump a gem5-style "name value # description" statistics listing
      * for every component (cores, caches, MSHRs, DRAM devices, policy)
@@ -170,11 +217,11 @@ class System
      */
     SimResult runWindowed();
 
-    /** Metric extraction shared by both run loops. */
-    SimResult collectResult(bool all_done);
-
     SystemConfig cfg_;
     EventQueue events_;
+    /** Cycle counter of the sequential loop (member: see runToBudget). */
+    Tick cycle_ = 0;
+    bool functional_ = false;
     std::unique_ptr<dram::DramSystem> nm_;
     std::unique_ptr<dram::DramSystem> fm_;
     std::unique_ptr<policy::FlatMemoryPolicy> policy_;
@@ -219,6 +266,23 @@ class MemoryHierarchy : public cpu::MemoryPort
     }
     uint64_t l1dAccesses() const;
 
+    /** Cumulative LLC miss latency (ticks) and completed-miss count —
+     *  the sampling layer differences these across window edges. */
+    double missLatencySum() const { return miss_latency_sum_; }
+    uint64_t missesCompleted() const { return misses_completed_; }
+
+    /**
+     * Functional-warming mode: LLC misses bypass the MSHR file and the
+     * policy's timing skeleton; fills happen synchronously and the
+     * completion fires at now + 1.  Keeps cache contents, miss counts,
+     * and policy metadata warm at a fraction of the detailed-mode cost.
+     */
+    void setWarming(bool on) { warming_ = on; }
+
+    /** Serialize cache contents + miss counters for checkpointing. */
+    void snapshot(BlobWriter &w) const;
+    void restore(BlobReader &r);
+
     const cache::Cache &l1d(CoreId core) const { return l1d_[core]; }
     const cache::Cache &l1i(CoreId core) const { return l1i_[core]; }
     const cache::Cache &l2() const { return l2_; }
@@ -240,6 +304,7 @@ class MemoryHierarchy : public cpu::MemoryPort
     uint64_t llc_misses_total_ = 0;
     double miss_latency_sum_ = 0.0;
     uint64_t misses_completed_ = 0;
+    bool warming_ = false;
 };
 
 } // namespace sim

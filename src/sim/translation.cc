@@ -1,6 +1,9 @@
 #include "sim/translation.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace silc {
 namespace sim {
@@ -26,8 +29,10 @@ Addr
 Translation::translate(CoreId core, Addr vaddr)
 {
     const uint64_t vpage = vaddr >> kLargeBlockBits;
-    if (core < last_vpage_.size() && last_vpage_[core] == vpage) {
-        return last_frame_[core] * kLargeBlockSize +
+    const size_t idx = static_cast<size_t>(core) * kTlbEntries +
+        (vpage & (kTlbEntries - 1));
+    if (idx < tlb_.size() && tlb_[idx].vpage == vpage) {
+        return tlb_[idx].frame * kLargeBlockSize +
             (vaddr & (kLargeBlockSize - 1));
     }
     const uint64_t k = key(core, vpage);
@@ -43,12 +48,10 @@ Translation::translate(CoreId core, Addr vaddr)
         page_table_.emplace(k, frame);
         ++per_core_pages_[core];
     }
-    if (core >= last_vpage_.size()) {
-        last_vpage_.resize(core + 1, ~uint64_t(0));
-        last_frame_.resize(core + 1, 0);
-    }
-    last_vpage_[core] = vpage;
-    last_frame_[core] = frame;
+    if (idx >= tlb_.size())
+        tlb_.resize((static_cast<size_t>(core) + 1) * kTlbEntries);
+    tlb_[idx].vpage = vpage;
+    tlb_[idx].frame = frame;
     return frame * kLargeBlockSize + (vaddr & (kLargeBlockSize - 1));
 }
 
@@ -57,6 +60,57 @@ Translation::pagesAllocatedFor(CoreId core) const
 {
     auto it = per_core_pages_.find(core);
     return it == per_core_pages_.end() ? 0 : it->second;
+}
+
+void
+Translation::snapshot(BlobWriter &w) const
+{
+    w.putU64(next_free_);
+
+    std::vector<std::pair<uint64_t, uint64_t>> entries(
+        page_table_.begin(), page_table_.end());
+    std::sort(entries.begin(), entries.end());
+    w.putU64(entries.size());
+    for (const auto &[k, frame] : entries) {
+        w.putU64(k);
+        w.putU64(frame);
+    }
+
+    std::vector<std::pair<CoreId, uint64_t>> per_core(
+        per_core_pages_.begin(), per_core_pages_.end());
+    std::sort(per_core.begin(), per_core.end());
+    w.putU64(per_core.size());
+    for (const auto &[core, pages] : per_core) {
+        w.putU32(core);
+        w.putU64(pages);
+    }
+}
+
+void
+Translation::restore(BlobReader &r)
+{
+    next_free_ = r.getU64();
+    if (next_free_ > frames_.size())
+        fatal("translation restore: %llu pages allocated but only %zu "
+              "frames (phys size mismatch)",
+              static_cast<unsigned long long>(next_free_), frames_.size());
+
+    page_table_.clear();
+    const uint64_t entries = r.getU64();
+    for (uint64_t i = 0; i < entries; ++i) {
+        const uint64_t k = r.getU64();
+        const uint64_t frame = r.getU64();
+        page_table_.emplace(k, frame);
+    }
+
+    per_core_pages_.clear();
+    const uint64_t cores = r.getU64();
+    for (uint64_t i = 0; i < cores; ++i) {
+        const CoreId core = r.getU32();
+        per_core_pages_[core] = r.getU64();
+    }
+
+    tlb_.clear();
 }
 
 } // namespace sim

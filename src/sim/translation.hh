@@ -19,6 +19,10 @@
 #include "common/types.hh"
 
 namespace silc {
+
+class BlobWriter;
+class BlobReader;
+
 namespace sim {
 
 /** The page-table / frame-allocator pair. */
@@ -45,6 +49,16 @@ class Translation
 
     uint64_t totalFrames() const { return frames_.size(); }
 
+    /**
+     * Serialize the page table and allocation cursor.  The shuffled
+     * frame list is ctor-pure (a pure function of phys_bytes and seed)
+     * and is not captured; restore() requires a Translation constructed
+     * with the same parameters.  Entries are written in sorted-key order
+     * so the blob is byte-deterministic despite the unordered_map.
+     */
+    void snapshot(BlobWriter &w) const;
+    void restore(BlobReader &r);
+
   private:
     static uint64_t
     key(CoreId core, uint64_t vpage)
@@ -58,12 +72,21 @@ class Translation
     uint64_t next_free_ = 0;
 
     /**
-     * Per-core last-translation memo.  Mappings are never invalidated
-     * (first-touch only), so short-circuiting repeat lookups of the
-     * same page is exact; bursty traces hit this almost always.
+     * Per-core direct-mapped translation cache.  Mappings are never
+     * invalidated (first-touch only), so serving repeat lookups from
+     * here is exact; it exists because the interleaving of instruction
+     * lines, stack-like friendly-region accesses and hot-page bursts
+     * defeats a single-entry memo, and the hash-map probe was ~17% of
+     * simulation time.  Grown lazily per core; restore() just clears it.
      */
-    std::vector<uint64_t> last_vpage_;
-    std::vector<uint64_t> last_frame_;
+    static constexpr uint32_t kTlbEntries = 256; // per core, power of 2
+
+    struct TlbEntry
+    {
+        uint64_t vpage = ~uint64_t(0);
+        uint64_t frame = 0;
+    };
+    std::vector<TlbEntry> tlb_;
 };
 
 } // namespace sim

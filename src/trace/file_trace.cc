@@ -3,6 +3,7 @@
 #include <cinttypes>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace silc {
 namespace trace {
@@ -138,6 +139,45 @@ FileTraceReader::next()
     const TraceInstruction out = mem_;
     refill();
     return out;
+}
+
+void
+FileTraceReader::snapshot(BlobWriter &w) const
+{
+    // tellg() on a good stream is non-destructive; the stream stays
+    // positioned where refill() left it.
+    const std::streamoff off = static_cast<std::streamoff>(in_.tellg());
+    if (off < 0)
+        fatal("trace file '%s': cannot checkpoint (tellg failed)",
+              path_.c_str());
+    w.putI64(off);
+    w.putU64(nonmem_left_);
+    w.putBool(have_mem_);
+    w.putBool(mem_.is_mem);
+    w.putBool(mem_.is_write);
+    w.putU64(mem_.vaddr);
+    w.putU64(mem_.pc);
+    w.putU64(delivered_);
+    w.putU64(wraps_);
+}
+
+void
+FileTraceReader::restore(BlobReader &r)
+{
+    const std::streamoff off = static_cast<std::streamoff>(r.getI64());
+    in_.clear();
+    in_.seekg(off);
+    if (!in_)
+        fatal("trace file '%s': cannot restore checkpoint offset %lld",
+              path_.c_str(), static_cast<long long>(off));
+    nonmem_left_ = r.getU64();
+    have_mem_ = r.getBool();
+    mem_.is_mem = r.getBool();
+    mem_.is_write = r.getBool();
+    mem_.vaddr = r.getU64();
+    mem_.pc = r.getU64();
+    delivered_ = r.getU64();
+    wraps_ = r.getU64();
 }
 
 } // namespace trace

@@ -77,6 +77,14 @@ class FileTraceReader : public TraceSource
 
     TraceInstruction next() override;
 
+    /**
+     * Serialize / restore the stream position (file offset plus the
+     * staged record).  restore() requires a reader opened on the same
+     * trace file.
+     */
+    void snapshot(BlobWriter &w) const override;
+    void restore(BlobReader &r) override;
+
     /** Instructions delivered so far. */
     uint64_t delivered() const { return delivered_; }
 
@@ -87,7 +95,7 @@ class FileTraceReader : public TraceSource
     /** Refill the current record from the file, wrapping at EOF. */
     void refill();
 
-    std::ifstream in_;
+    mutable std::ifstream in_;
     std::string path_;
     std::streampos body_start_;
 

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace silc {
 namespace trace {
@@ -71,6 +72,20 @@ ctorKey(const WorkloadProfile &p, uint64_t seed)
 }
 
 } // namespace
+
+void
+TraceSource::snapshot(BlobWriter &w) const
+{
+    (void)w;
+    fatal("this trace source does not support checkpointing");
+}
+
+void
+TraceSource::restore(BlobReader &r)
+{
+    (void)r;
+    fatal("this trace source does not support checkpointing");
+}
 
 const char *
 mpkiClassName(MpkiClass c)
@@ -274,6 +289,56 @@ SyntheticGenerator::next()
         }
     }
     return ins;
+}
+
+void
+SyntheticGenerator::snapshot(BlobWriter &w) const
+{
+    for (uint64_t word : rng_.state())
+        w.putU64(word);
+    w.putU64(hot_perm_.size());
+    for (uint32_t p : hot_perm_)
+        w.putU32(p);
+    w.putU64(nonmem_pc_);
+    w.putBool(burst_is_stream_);
+    w.putU32(burst_left_);
+    w.putU64(burst_addr_);
+    w.putU64(burst_pc_);
+    w.putU64(burst_page_);
+    w.putU32(burst_bit_);
+    w.putU64(stream_cursor_);
+    w.putU64(mem_ops_);
+    w.putU64(phase_countdown_);
+    w.putU64(phase_changes_);
+    w.putU64(instr_count_);
+}
+
+void
+SyntheticGenerator::restore(BlobReader &r)
+{
+    std::array<uint64_t, 4> s;
+    for (auto &word : s)
+        word = r.getU64();
+    rng_.setState(s);
+    const uint64_t perm = r.getU64();
+    if (perm != hot_perm_.size())
+        fatal("trace restore: hot set has %llu pages, generator %zu "
+              "(profile mismatch)", static_cast<unsigned long long>(perm),
+              hot_perm_.size());
+    for (auto &p : hot_perm_)
+        p = r.getU32();
+    nonmem_pc_ = r.getU64();
+    burst_is_stream_ = r.getBool();
+    burst_left_ = r.getU32();
+    burst_addr_ = r.getU64();
+    burst_pc_ = r.getU64();
+    burst_page_ = r.getU64();
+    burst_bit_ = r.getU32();
+    stream_cursor_ = r.getU64();
+    mem_ops_ = r.getU64();
+    phase_countdown_ = r.getU64();
+    phase_changes_ = r.getU64();
+    instr_count_ = r.getU64();
 }
 
 } // namespace trace

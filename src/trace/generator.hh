@@ -26,6 +26,10 @@
 #include "common/types.hh"
 
 namespace silc {
+
+class BlobWriter;
+class BlobReader;
+
 namespace trace {
 
 /** One instruction of a trace. */
@@ -45,6 +49,15 @@ class TraceSource
 
     /** Produce the next instruction. */
     virtual TraceInstruction next() = 0;
+
+    /**
+     * Serialize / restore the stream position for checkpointing.  The
+     * defaults fatal(): sources that cannot round-trip their state must
+     * not be sampled (SamplingController checks policy support, and all
+     * shipped sources implement these).
+     */
+    virtual void snapshot(BlobWriter &w) const;
+    virtual void restore(BlobReader &r);
 };
 
 /** MPKI class from Table III. */
@@ -129,6 +142,15 @@ class SyntheticGenerator : public TraceSource
     SyntheticGenerator(WorkloadProfile profile, uint64_t seed);
 
     TraceInstruction next() override;
+
+    /**
+     * Serialize the mutable stream state (RNG, hot permutation, burst
+     * machine, counters).  Ctor-pure tables (page_masks_, zipf_,
+     * mem_pcs_) are not captured: restore() requires a generator built
+     * with the same (profile, seed), which the ctor memo makes exact.
+     */
+    void snapshot(BlobWriter &w) const override;
+    void restore(BlobReader &r) override;
 
     const WorkloadProfile &profile() const { return profile_; }
 

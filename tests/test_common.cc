@@ -13,6 +13,7 @@
 
 #include "common/bitvector.hh"
 #include "common/config.hh"
+#include "common/env.hh"
 #include "common/event_queue.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -582,4 +583,179 @@ TEST(SubblockVector, IndependenceOfBits)
     for (uint32_t i = 0; i < kSubblocksPerBlock; ++i)
         EXPECT_EQ(bv.test(i), i % 2 == 0);
     EXPECT_EQ(bv.count(), 16u);
+}
+
+// ---- env knob parsing ----------------------------------------------------
+
+namespace {
+
+/** RAII environment variable for the env-parsing tests. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        setenv(name, value, 1);
+    }
+    ~ScopedEnv() { unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+} // namespace
+
+TEST(Env, UnsetReturnsFallback)
+{
+    unsetenv("SILC_TEST_KNOB");
+    EXPECT_EQ(envPositiveCount("SILC_TEST_KNOB", 42), 42u);
+    EXPECT_EQ(envThreadCount("SILC_TEST_KNOB", 3), 3u);
+}
+
+TEST(Env, PlainDecimalParses)
+{
+    ScopedEnv e("SILC_TEST_KNOB", "17");
+    EXPECT_EQ(envPositiveCount("SILC_TEST_KNOB", 1), 17u);
+}
+
+TEST(EnvDeath, EmptyValueFatal)
+{
+    ScopedEnv e("SILC_TEST_KNOB", "");
+    EXPECT_DEATH(envPositiveCount("SILC_TEST_KNOB", 1),
+                 "SILC_TEST_KNOB");
+}
+
+TEST(EnvDeath, LeadingWhitespaceFatal)
+{
+    ScopedEnv e("SILC_TEST_KNOB", " 4");
+    EXPECT_DEATH(envPositiveCount("SILC_TEST_KNOB", 1),
+                 "SILC_TEST_KNOB");
+}
+
+TEST(EnvDeath, TrailingWhitespaceFatal)
+{
+    ScopedEnv e("SILC_TEST_KNOB", "4 ");
+    EXPECT_DEATH(envPositiveCount("SILC_TEST_KNOB", 1),
+                 "SILC_TEST_KNOB");
+}
+
+TEST(EnvDeath, HexPrefixFatal)
+{
+    // "0x10" must not silently read as 0 (or as 16): trailing junk.
+    ScopedEnv e("SILC_TEST_KNOB", "0x10");
+    EXPECT_DEATH(envPositiveCount("SILC_TEST_KNOB", 1),
+                 "SILC_TEST_KNOB");
+}
+
+TEST(EnvDeath, ZeroFatal)
+{
+    ScopedEnv e("SILC_TEST_KNOB", "0");
+    EXPECT_DEATH(envPositiveCount("SILC_TEST_KNOB", 1),
+                 "SILC_TEST_KNOB");
+}
+
+TEST(EnvDeath, NegativeFatal)
+{
+    ScopedEnv e("SILC_TEST_KNOB", "-4");
+    EXPECT_DEATH(envPositiveCount("SILC_TEST_KNOB", 1),
+                 "SILC_TEST_KNOB");
+}
+
+TEST(EnvDeath, OverflowFatal)
+{
+    // Larger than UINT64_MAX: strtoull saturates with ERANGE.
+    ScopedEnv e("SILC_TEST_KNOB", "99999999999999999999999999");
+    EXPECT_DEATH(envPositiveCount("SILC_TEST_KNOB", 1),
+                 "SILC_TEST_KNOB");
+}
+
+TEST(EnvDeath, AboveMaxValueFatal)
+{
+    ScopedEnv e("SILC_TEST_KNOB", "11");
+    EXPECT_DEATH(envPositiveCount("SILC_TEST_KNOB", 1, 10),
+                 "SILC_TEST_KNOB");
+}
+
+TEST(EnvDeath, ThreadCountCapFatal)
+{
+    ScopedEnv e("SILC_TEST_KNOB", "100000");
+    EXPECT_DEATH(envThreadCount("SILC_TEST_KNOB", 1), "SILC_TEST_KNOB");
+}
+
+// ---- distribution percentiles / differencing -----------------------------
+
+TEST(Stats, PercentileOfEmptyDistributionIsZero)
+{
+    stats::Distribution d(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 0.0);
+}
+
+TEST(Stats, PercentileOfSingleSample)
+{
+    stats::Distribution d(0.0, 10.0, 5);
+    d.sample(3.0);
+    // Every quantile lands inside the one populated bucket [2, 4).
+    for (double p : {0.01, 0.5, 0.99}) {
+        EXPECT_GE(d.percentile(p), 2.0);
+        EXPECT_LE(d.percentile(p), 4.0);
+    }
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP)
+{
+    stats::Distribution d(0.0, 10.0, 5);
+    d.sample(5.0);
+    EXPECT_DOUBLE_EQ(d.percentile(-1.0), d.percentile(0.0));
+    EXPECT_DOUBLE_EQ(d.percentile(2.0), d.percentile(1.0));
+}
+
+TEST(Stats, PercentileSaturatesAtRangeEdges)
+{
+    stats::Distribution d(0.0, 10.0, 5);
+    d.sample(-5.0); // underflow
+    d.sample(15.0); // overflow
+    EXPECT_DOUBLE_EQ(d.percentile(0.25), 0.0);  // min()
+    EXPECT_DOUBLE_EQ(d.percentile(0.99), 10.0); // max()
+}
+
+TEST(Stats, DistributionMinusYieldsWindowSamples)
+{
+    stats::Distribution early(0.0, 10.0, 5);
+    early.sample(1.0);
+    early.sample(-2.0);
+    stats::Distribution late = early; // snapshot
+    late.sample(5.0);
+    late.sample(5.5);
+    late.sample(12.0);
+
+    const stats::Distribution delta = late.minus(early);
+    EXPECT_EQ(delta.samples(), 3u);
+    EXPECT_EQ(delta.underflows(), 0u);
+    EXPECT_EQ(delta.overflows(), 1u);
+    EXPECT_EQ(delta.buckets()[2], 2u);
+    // Mean of the window-only samples: (5 + 5.5 + 12) / 3.
+    EXPECT_NEAR(delta.value(), 22.5 / 3.0, 1e-12);
+}
+
+TEST(Stats, DistributionMinusSelfIsEmpty)
+{
+    stats::Distribution d(0.0, 10.0, 4);
+    d.sample(1.0);
+    const stats::Distribution delta = d.minus(d);
+    EXPECT_EQ(delta.samples(), 0u);
+    EXPECT_DOUBLE_EQ(delta.percentile(0.5), 0.0);
+}
+
+TEST(Rng, StateRoundTrip)
+{
+    Rng a(123);
+    (void)a.next();
+    (void)a.next();
+    const auto saved = a.state();
+    Rng b(999);
+    b.setState(saved);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(a.next(), b.next());
 }
